@@ -1,0 +1,92 @@
+"""Ablation: GEAR-style geographic interest pruning (paper ref [39]).
+
+Section 4.2: "We are currently exploring using filters to optimize
+diffusion (avoiding flooding) with geographic information."  This bench
+measures the optimization on a grid: interest flood transmissions with
+and without the GEAR filter, for region queries of varying placement.
+"""
+
+import pytest
+
+from repro import AttributeVector, Key, MessageType
+from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting
+from repro.filters import GearFilter
+from repro.radio import Topology
+from repro.sim import Simulator
+from repro.testbed import IdealNetwork
+
+GRID = 6  # 6x6 = 36 nodes
+SPACING = 10.0
+
+
+def build_grid(with_gear: bool):
+    topology = Topology.grid(columns=GRID, rows=GRID, spacing=SPACING)
+    sim = Simulator()
+    net = IdealNetwork(sim, delay=0.005)
+    nodes, apis = {}, {}
+    for node_id in topology.node_ids():
+        transport = net.add_node(node_id)
+        nodes[node_id] = DiffusionNode(
+            sim, node_id, transport,
+            config=DiffusionConfig(reinforcement_jitter=0.05),
+        )
+        apis[node_id] = DiffusionRouting(nodes[node_id])
+        if with_gear:
+            GearFilter(nodes[node_id], topology, slack=2.0)
+    for i in topology.node_ids():
+        if i % GRID < GRID - 1:
+            net.connect(i, i + 1)
+        if i < GRID * (GRID - 1):
+            net.connect(i, i + GRID)
+    return topology, sim, net, nodes, apis
+
+
+def corner_region_interest():
+    """Query the bottom-left 2x2 corner from the grid center."""
+    return (
+        AttributeVector.builder()
+        .eq(Key.TYPE, "det")
+        .ge(Key.X_COORD, -1.0).le(Key.X_COORD, SPACING + 1.0)
+        .ge(Key.Y_COORD, -1.0).le(Key.Y_COORD, SPACING + 1.0)
+        .build()
+    )
+
+
+def run_flood(with_gear: bool):
+    topology, sim, net, nodes, apis = build_grid(with_gear)
+    center = (GRID // 2) * GRID + GRID // 2
+    apis[center].subscribe(corner_region_interest(), lambda a, m: None)
+    sim.run(until=3.0)
+    transmissions = sum(
+        n.stats.messages_by_type[MessageType.INTEREST] for n in nodes.values()
+    )
+    in_region = [0, 1, GRID, GRID + 1]
+    reached = all(len(nodes[i].gradients) == 1 for i in in_region)
+    return transmissions, reached
+
+
+@pytest.fixture(scope="module")
+def flood_results():
+    return {"plain": run_flood(False), "gear": run_flood(True)}
+
+
+def test_gear_flood_cost(benchmark, flood_results):
+    benchmark.pedantic(run_flood, args=(True,), rounds=1, iterations=1)
+    plain_tx, plain_ok = flood_results["plain"]
+    gear_tx, gear_ok = flood_results["gear"]
+    print()
+    print(f"plain flooding: {plain_tx} interest transmissions (reach: {plain_ok})")
+    print(f"with GEAR     : {gear_tx} interest transmissions (reach: {gear_ok})")
+    print(f"pruned        : {1 - gear_tx / plain_tx:.0%}")
+    assert gear_ok
+    assert gear_tx < plain_tx * 0.7
+
+
+def test_region_still_reached(flood_results):
+    assert flood_results["gear"][1]
+
+
+def test_substantial_pruning(flood_results):
+    plain_tx, _ = flood_results["plain"]
+    gear_tx, _ = flood_results["gear"]
+    assert gear_tx < plain_tx * 0.7

@@ -1,0 +1,84 @@
+"""Ablation: multipath reinforcement under intermittent links.
+
+Paper Section 6.4: "some links provided only intermittent connectivity
+... A future direction for diffusion might send similar data over
+multiple paths to gain robustness when faced with low-quality links."
+This bench runs that future work on the ISI testbed with a
+Gilbert-Elliott intermittence overlay: delivery and traffic for
+multipath degrees 1 and 2.
+"""
+
+import pytest
+
+from repro.apps import SurveillanceExperiment
+from repro.core import DiffusionConfig
+from repro.radio import DistancePropagation, GilbertElliotLink
+from repro.testbed import FIG8_SINK, FIG8_SOURCES, SensorNetwork
+from repro.testbed.isi import (
+    ISI_FULL_RANGE,
+    ISI_MAX_RANGE,
+    isi_testbed_topology,
+)
+
+DURATION = 900.0
+
+
+def run_trial(multipath_degree: int, seed: int):
+    topology = isi_testbed_topology()
+    base = DistancePropagation(
+        topology,
+        full_range=ISI_FULL_RANGE,
+        max_range=ISI_MAX_RANGE,
+        asymmetry=0.10,
+        seed=seed,
+    )
+    flaky = GilbertElliotLink(
+        base, mean_good=60.0, mean_bad=12.0, bad_scale=0.2, seed=seed
+    )
+    network = SensorNetwork(
+        topology,
+        config=DiffusionConfig(multipath_degree=multipath_degree),
+        seed=seed,
+        propagation=flaky,
+    )
+    experiment = SurveillanceExperiment(
+        network, FIG8_SINK, FIG8_SOURCES[:2], suppression=False
+    )
+    return experiment.run(duration=DURATION)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    seeds = (41, 42, 43)
+    return {
+        degree: [run_trial(degree, seed) for seed in seeds]
+        for degree in (1, 2)
+    }
+
+
+def mean(values):
+    return sum(values) / len(values)
+
+
+def test_multipath_sweep(benchmark, sweep):
+    benchmark.pedantic(run_trial, args=(2, 99), rounds=1, iterations=1)
+    print()
+    print(f"{'degree':>7} {'delivery':>9} {'bytes/event':>12}")
+    for degree, results in sweep.items():
+        print(
+            f"{degree:>7} {mean([r.delivery_ratio for r in results]):>9.2f} "
+            f"{mean([r.bytes_per_event for r in results]):>12.0f}"
+        )
+    single = mean([r.delivery_ratio for r in sweep[1]])
+    multi = mean([r.delivery_ratio for r in sweep[2]])
+    assert multi >= single  # robustness gained (or at worst matched)
+
+
+def test_multipath_delivery_at_least_single(sweep):
+    single = mean([r.delivery_ratio for r in sweep[1]])
+    multi = mean([r.delivery_ratio for r in sweep[2]])
+    assert multi >= single
+
+
+def test_multipath_delivery_meaningful(sweep):
+    assert mean([r.delivery_ratio for r in sweep[2]]) > 0.3

@@ -1,0 +1,97 @@
+"""Ablation: one-phase push vs two-phase pull diffusion.
+
+Paper Section 3.1 notes the diffusion paradigm is "more general" than
+the query-response usage the paper evaluates.  Push mode (sources
+advertise, passive sinks reinforce) trades interest-refresh traffic for
+advertisement floods; this bench measures the crossover on a hub
+topology as the sink:source ratio varies.
+"""
+
+import pytest
+
+from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting
+from repro.naming import AttributeVector
+from repro.naming.keys import Key
+from repro.sim import Simulator
+from repro.testbed import IdealNetwork
+
+DURATION = 300.0
+
+SUB = AttributeVector.builder().eq(Key.TYPE, "t").build()
+PUB = AttributeVector.builder().actual(Key.TYPE, "t").build()
+
+
+def run(push: bool, n_sinks: int, n_sources: int):
+    sim = Simulator()
+    net = IdealNetwork(sim, delay=0.01)
+    config = DiffusionConfig(
+        push_mode=push,
+        reinforcement_jitter=0.05,
+        exploratory_interval=20.0,
+        interest_interval=20.0,
+        gradient_timeout=60.0,
+        interest_jitter=0.1,
+    )
+    total = n_sinks + n_sources + 1
+    nodes, apis = {}, {}
+    for i in range(total):
+        nodes[i] = DiffusionNode(sim, i, net.add_node(i), config=config)
+        apis[i] = DiffusionRouting(nodes[i])
+    hub = total - 1
+    for i in range(total - 1):
+        net.connect(i, hub)
+    received = []
+    for sink in range(n_sinks):
+        apis[sink].subscribe(SUB, lambda a, m: received.append(a))
+    for s in range(n_sources):
+        source = n_sinks + s
+        pub = apis[source].publish(PUB)
+        for i in range(int(DURATION // 10)):
+            sim.schedule(
+                1.0 + i * 10.0, apis[source].send, pub,
+                AttributeVector.builder().actual(Key.SEQUENCE, i).build(),
+            )
+    sim.run(until=DURATION)
+    return {
+        "bytes": sum(n.stats.bytes_sent for n in nodes.values()),
+        "received": len(received),
+    }
+
+
+@pytest.fixture(scope="module")
+def grid():
+    shapes = [(1, 6), (3, 3), (6, 1), (0, 6)]
+    return {
+        (push, sinks, sources): run(push, sinks, sources)
+        for push in (False, True)
+        for sinks, sources in shapes
+    }
+
+
+def test_push_pull_sweep(benchmark, grid):
+    benchmark.pedantic(run, args=(True, 3, 3), rounds=1, iterations=1)
+    print()
+    print(f"{'sinks':>6} {'sources':>8} {'pull bytes':>11} {'push bytes':>11}")
+    for sinks, sources in [(1, 6), (3, 3), (6, 1), (0, 6)]:
+        pull = grid[(False, sinks, sources)]
+        push = grid[(True, sinks, sources)]
+        print(f"{sinks:>6} {sources:>8} {pull['bytes']:>11} {push['bytes']:>11}")
+    # The qualitative trade-off (asserted in detail below).
+    assert grid[(True, 6, 1)]["bytes"] < grid[(False, 6, 1)]["bytes"]
+    assert grid[(False, 0, 6)]["bytes"] == 0
+
+
+def test_push_wins_with_many_sinks(grid):
+    assert grid[(True, 6, 1)]["bytes"] < grid[(False, 6, 1)]["bytes"]
+    assert grid[(True, 6, 1)]["received"] >= grid[(False, 6, 1)]["received"] * 0.8
+
+
+def test_pull_silent_without_subscribers(grid):
+    assert grid[(False, 0, 6)]["bytes"] == 0
+    assert grid[(True, 0, 6)]["bytes"] > 0
+
+
+def test_both_modes_deliver(grid):
+    for (push, sinks, sources), result in grid.items():
+        if sinks > 0:
+            assert result["received"] > 0, (push, sinks, sources)

@@ -1,0 +1,60 @@
+"""Ablation: the exploratory:data ratio (Section 6.1's explanation).
+
+The paper explains the gap between the testbed's 42% savings and the
+simulation's 3-5x savings by the exploratory:data ratio (1:10 on the
+testbed vs 1:100 in simulation): flooded overhead dilutes the benefit
+of aggregating on-path data.  This bench sweeps the ratio in the
+analytical model and on the simulated testbed.
+"""
+
+import pytest
+
+from repro.analysis import TrafficModel
+from repro.apps import SurveillanceExperiment
+from repro.core import DiffusionConfig
+from repro.testbed import FIG8_SINK, FIG8_SOURCES, isi_testbed_network
+
+RATIOS = (5, 10, 50, 100)
+
+
+def test_model_overhead_share_falls_with_ratio(benchmark):
+    def sweep():
+        shares = {}
+        for ratio in RATIOS:
+            model = TrafficModel(exploratory_ratio=ratio)
+            b = model.breakdown(4, aggregated=True)
+            shares[ratio] = (b.interest + b.exploratory) / b.total
+        return shares
+
+    shares = benchmark(sweep)
+    print()
+    print("flooded-overhead share of aggregated traffic by ratio:")
+    for ratio, share in shares.items():
+        print(f"   1:{ratio:<4} -> {share:.0%}")
+    values = [shares[r] for r in RATIOS]
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_simulated_ratio_sweep():
+    """On the live testbed, a longer exploratory interval (more data per
+    flood) reduces bytes/event with aggregation on."""
+
+    def run(interval):
+        config = DiffusionConfig(exploratory_interval=interval)
+        net = isi_testbed_network(seed=17, config=config)
+        exp = SurveillanceExperiment(net, FIG8_SINK, FIG8_SOURCES[:2],
+                                     suppression=True)
+        return exp.run(duration=900.0)
+
+    short = run(30.0)   # 1:5 at 6 s data
+    long = run(120.0)   # 1:20
+    print()
+    print(f"exploratory every  30s: {short.bytes_per_event:7.0f} B/event")
+    print(f"exploratory every 120s: {long.bytes_per_event:7.0f} B/event")
+    assert long.bytes_per_event < short.bytes_per_event
+
+
+def test_model_savings_shape_against_paper_numbers():
+    model = TrafficModel()
+    assert model.bytes_per_event(1, True) == pytest.approx(990, rel=0.01)
+    assert model.savings(4) > 0.5

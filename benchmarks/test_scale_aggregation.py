@@ -1,0 +1,141 @@
+"""Scale validation: the simulation-era aggregation savings.
+
+Section 6.1: "Previous simulation studies have shown that aggregation
+can reduce energy consumption by a factor of 3-5x in a large network
+(50-250 nodes) with five active sources and five sinks (Figure 6b from
+[23]) ... a 3-5-fold energy savings with five sources is much greater
+than the 42% ... The primary reason for this difference is differences
+in ratio of exploratory to data messages" (1:100 in simulation vs 1:10
+on the testbed).
+
+This bench reruns that scenario on our protocol implementation — a
+49-node grid, five sources, five sinks, exploratory:data 1:100 — and
+checks that the savings factor lands in the cited 3-5x band, closing
+the loop on the paper's own explanation of its Figure 8 numbers.
+"""
+
+import pytest
+
+from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting
+from repro.filters import SuppressionFilter
+from repro.naming import AttributeVector
+from repro.naming.keys import Key
+from repro.sim import Simulator
+from repro.testbed import IdealNetwork
+
+GRID = 7            # 49 nodes, the low end of the cited 50-250 range
+DURATION = 300.0
+DATA_INTERVAL = 0.5     # "data every 0.5s" in the simulation study
+EXPLORATORY = 50.0      # "exploratory messages were sent every 50s"
+
+
+def run_scale_trial(suppression: bool):
+    sim = Simulator()
+    net = IdealNetwork(sim, delay=0.005)
+    config = DiffusionConfig(
+        interest_interval=50.0,
+        gradient_timeout=120.0,
+        interest_jitter=1.0,
+        exploratory_interval=EXPLORATORY,
+        reinforcement_jitter=0.2,
+    )
+    total = GRID * GRID
+    nodes, apis = {}, {}
+    match = AttributeVector.builder().eq(Key.TYPE, "det").build()
+    for i in range(total):
+        nodes[i] = DiffusionNode(sim, i, net.add_node(i), config=config)
+        apis[i] = DiffusionRouting(nodes[i])
+        if suppression:
+            SuppressionFilter(nodes[i], match_attrs=match)
+    for i in range(total):
+        if i % GRID < GRID - 1:
+            net.connect(i, i + 1)
+        if i < total - GRID:
+            net.connect(i, i + GRID)
+    sinks = [k * GRID for k in range(5)]             # left edge
+    sources = [(k + 1) * GRID - 1 for k in range(5)]  # right edge
+    received = {sink: set() for sink in sinks}
+    sub = (
+        AttributeVector.builder()
+        .eq(Key.TYPE, "det")
+        .actual(Key.INTERVAL, int(DATA_INTERVAL * 1000))
+        .build()
+    )
+    for sink in sinks:
+        apis[sink].subscribe(
+            sub,
+            lambda attrs, msg, k=sink: received[k].add(
+                attrs.value_of(Key.SEQUENCE)
+            ),
+        )
+    pubs = {
+        src: apis[src].publish(
+            AttributeVector.builder().actual(Key.TYPE, "det").build()
+        )
+        for src in sources
+    }
+    count = int((DURATION - 5.0) / DATA_INTERVAL)
+    for seq in range(count):
+        when = 5.0 + seq * DATA_INTERVAL
+        for src in sources:
+            sim.schedule(
+                when, apis[src].send, pubs[src],
+                AttributeVector.builder().actual(Key.SEQUENCE, seq).build(),
+                80,  # pad toward the study's 64-127 B messages
+            )
+    sim.run(until=DURATION)
+    total_bytes = sum(node.stats.bytes_sent for node in nodes.values())
+    distinct = len(set().union(*received.values()))
+    return {
+        "bytes": total_bytes,
+        "distinct": distinct,
+        "generated": count,
+        "bytes_per_event": total_bytes / max(1, distinct),
+    }
+
+
+@pytest.fixture(scope="module")
+def scale_results():
+    return {
+        suppression: run_scale_trial(suppression)
+        for suppression in (True, False)
+    }
+
+
+def test_scale_sweep(benchmark, scale_results):
+    benchmark.pedantic(run_scale_trial, args=(True,), rounds=1, iterations=1)
+    with_supp = scale_results[True]
+    without = scale_results[False]
+    factor = without["bytes_per_event"] / with_supp["bytes_per_event"]
+    print()
+    print(f"49 nodes, 5 sources, 5 sinks, exploratory:data 1:100")
+    print(f"  with aggregation   : {with_supp['bytes_per_event']:8.0f} B/event")
+    print(f"  without aggregation: {without['bytes_per_event']:8.0f} B/event")
+    print(f"  savings factor     : {factor:.1f}x (paper cites 3-5x)")
+    assert 2.5 <= factor <= 6.0
+
+
+def test_savings_factor_in_cited_band(scale_results):
+    factor = (
+        scale_results[False]["bytes_per_event"]
+        / scale_results[True]["bytes_per_event"]
+    )
+    assert 2.5 <= factor <= 6.0
+
+
+def test_delivery_near_complete_without_mac_losses(scale_results):
+    """On the ideal transport (this is a protocol-scale study, like the
+    original ns-2 one) delivery should be essentially complete."""
+    for result in scale_results.values():
+        assert result["distinct"] >= result["generated"] - 2
+
+
+def test_scale_savings_exceed_testbed_savings(scale_results):
+    """The paper's explanation requires the simulation-scale factor to
+    dwarf the testbed's 1.7x (42%) — check our numbers tell the same
+    story."""
+    factor = (
+        scale_results[False]["bytes_per_event"]
+        / scale_results[True]["bytes_per_event"]
+    )
+    assert factor > 1.7

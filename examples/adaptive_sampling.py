@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Closed-loop rate adaptation (paper Section 6.4 future work).
+
+"The diffusion applications we currently use operate in an open loop;
+feedback and congestion control are needed."  This example closes the
+loop: three sources hammer a congested line at 300 ms; an adaptive sink
+watches its loss and re-tasks them (via the INTERVAL attribute in its
+interests) until the network keeps up.  The same run without adaptation
+is shown for contrast.
+
+Run:  python examples/adaptive_sampling.py
+"""
+
+from repro.apps.rateadapt import AdaptiveSink, RateAdaptingSource
+from repro.naming import AttributeVector
+from repro.naming.keys import Key
+from repro.radio import Topology
+from repro.testbed import SensorNetwork
+
+TASK = "samples"
+DURATION = 600.0
+
+
+def run(adaptive: bool):
+    net = SensorNetwork(Topology.line(4, spacing=15.0), seed=9)
+    sources = [
+        RateAdaptingSource(net.api(i), TASK, default_interval=0.3,
+                           min_interval=0.3)
+        for i in (1, 2, 3)
+    ]
+    sink = None
+    received = []
+    if adaptive:
+        sink = AdaptiveSink(
+            net.api(0), TASK,
+            initial_interval_ms=300,
+            min_interval_ms=300,
+            epoch=30.0,
+            back_off_loss=0.3,
+        )
+    else:
+        net.api(0).subscribe(
+            AttributeVector.builder()
+            .eq(Key.TYPE, TASK)
+            .actual(Key.INTERVAL, 300)
+            .build(),
+            lambda attrs, msg: received.append(attrs),
+        )
+    net.run(until=DURATION)
+    sent = sum(s.events_sent for s in sources)
+    got = sink.events_received if adaptive else len(received)
+    return sent, got, sink
+
+
+def main() -> None:
+    for adaptive in (False, True):
+        sent, got, sink = run(adaptive)
+        label = "adaptive  " if adaptive else "fixed rate"
+        print(f"{label}: {got}/{sent} events delivered "
+              f"({got / max(1, sent):.0%} of offered load)")
+        if sink is not None:
+            print("   controller trajectory (interval per epoch):")
+            for stats in sink.history:
+                bar = "#" * round(stats.loss * 30)
+                print(
+                    f"     t={stats.time:5.0f}s interval={stats.interval_ms:>6}ms "
+                    f"loss={stats.loss:4.0%} {bar}"
+                )
+    print(
+        "\nBacking off wastes fewer transmissions on collisions, so a "
+        "larger fraction of what is sent arrives — the feedback loop the "
+        "paper's Section 6.4 calls for."
+    )
+
+
+if __name__ == "__main__":
+    main()

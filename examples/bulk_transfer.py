@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Reliable transfer of a large persistent object (paper Section 3.1).
+
+The paper leaves loss recovery to applications but was "developing
+[a] retransmission scheme for applications that transfer large,
+persistent data objects".  This example moves a 4 KB object (say, a
+camera image) across the simulated radio testbed: the object streams as
+named blocks, the receiver NACKs the holes, and repairs flood until the
+object is complete and checksummed.
+
+Run:  python examples/bulk_transfer.py
+"""
+
+import hashlib
+
+from repro.testbed import isi_testbed_network
+from repro.transfer import BlockReceiver, BlockSender, split_object
+
+SENDER_NODE = 25    # the imaging sensor
+RECEIVER_NODE = 39  # the user
+
+
+def main() -> None:
+    net = isi_testbed_network(seed=13)
+    payload = bytes((i * 31 + 7) % 256 for i in range(4096))
+    obj = split_object("camera-image-1", payload)
+
+    completions = []
+    receiver = BlockReceiver(
+        net.api(RECEIVER_NODE),
+        object_id=obj.object_id,
+        on_complete=lambda data, stats: completions.append((data, stats)),
+        quiet_timeout=6.0,
+        max_repair_rounds=30,
+    )
+    sender = BlockSender(net.api(SENDER_NODE), block_interval=0.8)
+    net.sim.schedule(2.0, sender.offer, obj, 0.0)
+    net.run(until=900.0)
+
+    print(f"object: {obj.size} bytes in {obj.block_count} blocks, "
+          f"{SENDER_NODE} -> {RECEIVER_NODE} across the testbed\n")
+    if completions:
+        data, stats = completions[0]
+        ok = hashlib.sha1(data).hexdigest() == obj.checksum()
+        print(f"completed at t={stats.completed_at:7.1f}s, checksum ok: {ok}")
+        print(f"   blocks received : {stats.blocks_received}")
+        print(f"   duplicates      : {stats.duplicate_blocks}")
+        print(f"   repair rounds   : {stats.repair_rounds}")
+        print(f"   sender repairs  : {sender.repairs_served}")
+    else:
+        print("transfer incomplete:")
+        print(f"   received {receiver.stats.blocks_received} blocks, "
+              f"missing {len(receiver.missing_blocks())}")
+        print(f"   repair rounds used: {receiver.stats.repair_rounds}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro experiments [--quick] [--only fig8]
+    python -m repro example quickstart
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+from pathlib import Path
+
+import repro
+
+EXAMPLES = {
+    "quickstart": "quickstart.py",
+    "animal-tracking": "animal_tracking.py",
+    "surveillance": "surveillance_aggregation.py",
+    "nested-queries": "nested_queries.py",
+    "tiered-motes": "tiered_motes.py",
+    "energy-monitoring": "energy_monitoring.py",
+    "bulk-transfer": "bulk_transfer.py",
+    "target-tracking": "target_tracking.py",
+    "query-console": "query_console.py",
+    "adaptive-sampling": "adaptive_sampling.py",
+}
+
+
+def _examples_dir() -> Path:
+    # examples/ sits next to src/ in a source checkout.
+    return Path(__file__).resolve().parents[2] / "examples"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Building Efficient Wireless Sensor "
+        "Networks with Low-Level Naming' (SOSP 2001)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    exp = sub.add_parser("experiments", help="regenerate the paper's figures")
+    exp.add_argument("--quick", action="store_true")
+    exp.add_argument(
+        "--only", choices=["fig8", "fig9", "fig11", "duty", "model", "micro"]
+    )
+
+    ex = sub.add_parser("example", help="run a narrated example")
+    ex.add_argument("name", choices=sorted(EXAMPLES))
+
+    sub.add_parser("info", help="print version and module inventory")
+
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        from repro.experiments.runner import main as runner_main
+
+        runner_args = []
+        if args.quick:
+            runner_args.append("--quick")
+        if args.only:
+            runner_args.extend(["--only", args.only])
+        return runner_main(runner_args)
+    if args.command == "example":
+        script = _examples_dir() / EXAMPLES[args.name]
+        if not script.exists():
+            print(f"example script not found: {script}", file=sys.stderr)
+            return 1
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    if args.command == "info":
+        print(f"repro {repro.__version__}")
+        print(__doc__)
+        print("subpackages: naming, core, filters, micro, transfer, apps,")
+        print("             sim, radio, mac, link, energy, testbed,")
+        print("             analysis, experiments")
+        return 0
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

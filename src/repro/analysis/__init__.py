@@ -1,0 +1,22 @@
+"""Experiment analysis: statistics, traffic meters, and the paper's
+analytical traffic model."""
+
+from repro.analysis.stats import ConfidenceInterval, mean_ci
+from repro.analysis.metrics import DeliveryRecorder, TrafficMeter
+from repro.analysis.traffic_model import TrafficModel, TrafficBreakdown
+from repro.analysis.charts import bar_chart, line_chart
+from repro.analysis.tracelog import TraceLogger, load_trace, summarize_trace
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_ci",
+    "DeliveryRecorder",
+    "TrafficMeter",
+    "TrafficModel",
+    "TrafficBreakdown",
+    "bar_chart",
+    "line_chart",
+    "TraceLogger",
+    "load_trace",
+    "summarize_trace",
+]

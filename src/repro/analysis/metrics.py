@@ -1,0 +1,61 @@
+"""Measurement taps over the trace bus."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set
+
+from repro.sim import TraceBus, TraceRecord
+
+
+class TrafficMeter:
+    """Accumulates bytes/messages sent by diffusion modules.
+
+    Subscribes to the ``diffusion.tx`` trace category; optionally breaks
+    totals down per node and per message type.
+    """
+
+    def __init__(self, bus: TraceBus) -> None:
+        self.total_bytes = 0
+        self.total_messages = 0
+        self.bytes_by_node: Dict[int, int] = defaultdict(int)
+        self.bytes_by_type: Dict[str, int] = defaultdict(int)
+        self.messages_by_type: Dict[str, int] = defaultdict(int)
+        bus.subscribe("diffusion.tx", self._on_tx)
+
+    def _on_tx(self, record: TraceRecord) -> None:
+        nbytes = record.data.get("nbytes", 0)
+        msg_type = record.data.get("msg_type", "?")
+        self.total_bytes += nbytes
+        self.total_messages += 1
+        if record.node is not None:
+            self.bytes_by_node[record.node] += nbytes
+        self.bytes_by_type[msg_type] += nbytes
+        self.messages_by_type[msg_type] += 1
+
+    def reset(self) -> None:
+        self.total_bytes = 0
+        self.total_messages = 0
+        self.bytes_by_node.clear()
+        self.bytes_by_type.clear()
+        self.messages_by_type.clear()
+
+
+class DeliveryRecorder:
+    """Records application-level deliveries (``app.deliver`` traces)."""
+
+    def __init__(self, bus: TraceBus) -> None:
+        self.deliveries: List[TraceRecord] = []
+        bus.subscribe("app.deliver", self.deliveries.append)
+
+    def count(self, node: Optional[int] = None) -> int:
+        if node is None:
+            return len(self.deliveries)
+        return sum(1 for r in self.deliveries if r.node == node)
+
+    def origins_seen(self, node: int) -> Set[int]:
+        return {
+            r.data.get("origin")
+            for r in self.deliveries
+            if r.node == node and r.data.get("origin") is not None
+        }

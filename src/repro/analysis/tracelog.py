@@ -1,0 +1,135 @@
+"""Trace logging and offline inspection.
+
+Paper Section 7: the testbed needed "more flexible logging" and better
+"analysis tools for these networks"; its authors ran a second, wired
+network just to collect experiment data.  This module is that
+instrumentation path for the simulator: persist every trace record as
+JSON lines, load them back, and summarize a run offline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.sim import TraceBus, TraceRecord
+
+
+class TraceLogger:
+    """Streams trace records to a JSONL file (or an in-memory list)."""
+
+    def __init__(
+        self,
+        bus: TraceBus,
+        path: Optional[Union[str, Path]] = None,
+        categories: Iterable[str] = ("*",),
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.records_written = 0
+        self._handle = self.path.open("w") if self.path else None
+        self._memory: List[TraceRecord] = []
+        for category in categories:
+            bus.subscribe(category, self._on_record)
+
+    def _on_record(self, record: TraceRecord) -> None:
+        self.records_written += 1
+        if self._handle is not None:
+            self._handle.write(
+                json.dumps(
+                    {
+                        "t": record.time,
+                        "cat": record.category,
+                        "node": record.node,
+                        "data": _jsonable(record.data),
+                    }
+                )
+                + "\n"
+            )
+        else:
+            self._memory.append(record)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return list(self._memory)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _jsonable(data: Dict) -> Dict:
+    out = {}
+    for key, value in data.items():
+        if isinstance(value, bytes):
+            out[key] = value.hex()
+        elif isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read a JSONL trace back into records."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            records.append(
+                TraceRecord(
+                    time=raw["t"],
+                    category=raw["cat"],
+                    node=raw.get("node"),
+                    data=raw.get("data", {}),
+                )
+            )
+    return records
+
+
+@dataclass
+class TraceSummary:
+    """Run-level statistics derived from a trace."""
+
+    record_count: int = 0
+    first_time: Optional[float] = None
+    last_time: Optional[float] = None
+    by_category: Dict[str, int] = field(default_factory=dict)
+    tx_bytes_by_node: Dict[int, int] = field(default_factory=dict)
+    collisions_by_node: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        return self.last_time - self.first_time
+
+
+def summarize_trace(records: Iterable[TraceRecord]) -> TraceSummary:
+    """The offline analysis Section 7 wished for: per-node traffic and
+    collision hot spots from a recorded run."""
+    summary = TraceSummary()
+    categories: Counter = Counter()
+    tx_bytes: Dict[int, int] = defaultdict(int)
+    collisions: Dict[int, int] = defaultdict(int)
+    for record in records:
+        summary.record_count += 1
+        if summary.first_time is None or record.time < summary.first_time:
+            summary.first_time = record.time
+        if summary.last_time is None or record.time > summary.last_time:
+            summary.last_time = record.time
+        categories[record.category] += 1
+        if record.category == "diffusion.tx" and record.node is not None:
+            tx_bytes[record.node] += record.data.get("nbytes", 0)
+        if record.category == "channel.collision" and record.node is not None:
+            collisions[record.node] += 1
+    summary.by_category = dict(categories)
+    summary.tx_bytes_by_node = dict(tx_bytes)
+    summary.collisions_by_node = dict(collisions)
+    return summary

@@ -1,0 +1,233 @@
+"""In-network monitoring: residual energy scans.
+
+Paper Section 7: "Tools are needed to report the changing radio
+topology, observe collision rates and energy consumption ... We have
+begun work on in-network monitoring tools [40]" — reference [40] is
+Zhao/Govindan/Estrin's residual-energy scans.  This module implements
+that application on the public API:
+
+* every node runs an :class:`EnergyReporter` publishing its residual
+  energy periodically;
+* an :class:`EnergyScanAggregator` filter merges reports in-network:
+  reports passing a node within a window are combined into one digest
+  carrying min/max/sum/count, so the monitoring sink receives a
+  network-wide energy summary at a fraction of the per-node traffic;
+* an :class:`EnergyScanSink` subscribes and maintains the scan.
+
+It doubles as a demonstration that aggregation generalizes beyond
+duplicate suppression: this filter *combines* values rather than
+discarding copies.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.api import DiffusionRouting
+from repro.core.filter_api import FilterHandle, GRADIENT_FILTER_PRIORITY
+from repro.core.messages import Message
+from repro.core.node import DiffusionNode
+from repro.energy import EnergyLedger
+from repro.naming import Attribute, AttributeVector, Operator
+from repro.naming.keys import Key
+
+ENERGY_SCAN_TYPE = "energy-scan"
+
+
+@dataclass
+class EnergyDigest:
+    """Aggregated residual-energy summary."""
+
+    minimum: float
+    maximum: float
+    total: float
+    count: int
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "EnergyDigest") -> "EnergyDigest":
+        return EnergyDigest(
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+            total=self.total + other.total,
+            count=self.count + other.count,
+        )
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            "<dddI", self.minimum, self.maximum, self.total, self.count
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "EnergyDigest":
+        minimum, maximum, total, count = struct.unpack("<dddI", payload)
+        return cls(minimum=minimum, maximum=maximum, total=total, count=count)
+
+    @classmethod
+    def single(cls, value: float) -> "EnergyDigest":
+        return cls(minimum=value, maximum=value, total=value, count=1)
+
+
+class EnergyReporter:
+    """Publishes this node's residual energy every ``interval`` seconds.
+
+    Residual energy is ``budget`` minus what the node's ledger has spent
+    so far (in the paper's relative units).
+    """
+
+    def __init__(
+        self,
+        api: DiffusionRouting,
+        ledger: EnergyLedger,
+        budget: float,
+        interval: float = 30.0,
+        scan_type: str = ENERGY_SCAN_TYPE,
+    ) -> None:
+        if budget <= 0:
+            raise ValueError("energy budget must be positive")
+        self.api = api
+        self.ledger = ledger
+        self.budget = budget
+        self.interval = interval
+        self.reports_sent = 0
+        self._publication = api.publish(
+            AttributeVector.builder().actual(Key.TYPE, scan_type).build()
+        )
+        self._timer = api.node.sim.schedule(
+            interval * 0.1 * (1 + (api.node_id % 10)),
+            self._tick,
+            name="escan.tick",
+        )
+
+    def residual_energy(self) -> float:
+        spent = self.ledger.energy(elapsed=self.api.node.sim.now)
+        return max(0.0, self.budget - spent)
+
+    def _tick(self) -> None:
+        digest = EnergyDigest.single(self.residual_energy())
+        attrs = (
+            AttributeVector.builder()
+            .actual(Key.SEQUENCE, self.reports_sent)
+            .actual(Key.INSTANCE, f"node-{self.api.node_id}")
+            .build()
+            .with_attribute(
+                Attribute.blob(Key.PAYLOAD, Operator.IS, digest.encode())
+            )
+        )
+        self.api.send(self._publication, attrs)
+        self.reports_sent += 1
+        self._timer = self.api.node.sim.schedule(
+            self.interval, self._tick, name="escan.tick"
+        )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+
+
+class EnergyScanAggregator:
+    """Filter that merges energy reports crossing this node.
+
+    Holds the first report of a window for ``delay`` seconds, folds any
+    further reports into its digest, then forwards a single combined
+    message.  The merged message keeps the identity (origin, msg id) of
+    the first report so core dedup still works.
+    """
+
+    def __init__(
+        self,
+        node: DiffusionNode,
+        delay: float = 1.0,
+        priority: int = GRADIENT_FILTER_PRIORITY + 20,
+        scan_type: str = ENERGY_SCAN_TYPE,
+    ) -> None:
+        self.node = node
+        self.delay = delay
+        self.reports_merged = 0
+        self.digests_forwarded = 0
+        self._pending: Optional[list] = None  # [message, digest, timer]
+        match = AttributeVector.builder().eq(Key.TYPE, scan_type).build()
+        self.handle = node.add_filter(match, priority, self._callback,
+                                      name="energy-scan")
+
+    def _callback(self, message: Message, handle: FilterHandle) -> None:
+        if not message.msg_type.is_data:
+            self.node.send_message(message, handle)
+            return
+        payload = message.attrs.value_of(Key.PAYLOAD)
+        if not isinstance(payload, bytes):
+            self.node.send_message(message, handle)
+            return
+        try:
+            digest = EnergyDigest.decode(payload)
+        except struct.error:
+            self.node.send_message(message, handle)
+            return
+        if self._pending is None:
+            timer = self.node.sim.schedule(
+                self.delay, self._flush, name="escan.flush"
+            )
+            self._pending = [message, digest, timer]
+            return
+        self._pending[1] = self._pending[1].merge(digest)
+        self.reports_merged += 1
+
+    def _flush(self) -> None:
+        if self._pending is None:
+            return
+        message, digest, _ = self._pending
+        self._pending = None
+        merged_attrs = message.attrs.without_key(Key.PAYLOAD).with_attribute(
+            Attribute.blob(Key.PAYLOAD, Operator.IS, digest.encode())
+        )
+        self.digests_forwarded += 1
+        self.node.send_message(
+            replace(message, attrs=merged_attrs), self.handle
+        )
+
+    def remove(self) -> None:
+        if self._pending is not None:
+            self._pending[2].cancel()
+            self._pending = None
+        self.node.remove_filter(self.handle)
+
+
+class EnergyScanSink:
+    """The monitoring station: accumulates the network energy picture."""
+
+    def __init__(
+        self,
+        api: DiffusionRouting,
+        scan_type: str = ENERGY_SCAN_TYPE,
+        interval_ms: int = 30_000,
+    ) -> None:
+        self.api = api
+        self.digests_received = 0
+        self.network_view: Optional[EnergyDigest] = None
+        sub = (
+            AttributeVector.builder()
+            .eq(Key.TYPE, scan_type)
+            .actual(Key.INTERVAL, interval_ms)
+            .build()
+        )
+        api.subscribe(sub, self._on_digest)
+
+    def _on_digest(self, attrs: AttributeVector, message) -> None:
+        payload = attrs.value_of(Key.PAYLOAD)
+        if not isinstance(payload, bytes):
+            return
+        try:
+            digest = EnergyDigest.decode(payload)
+        except struct.error:
+            return
+        self.digests_received += 1
+        if self.network_view is None:
+            self.network_view = digest
+        else:
+            # A scan snapshot: keep the most pessimistic minimum and the
+            # freshest counts by merging.
+            self.network_view = self.network_view.merge(digest)

@@ -1,0 +1,214 @@
+"""Radio-topology monitoring.
+
+Paper Section 7: "Tools are needed to report the changing radio
+topology" — on the testbed, understanding "what was going on in a
+network of dozens of physically distributed nodes" was a recurring
+struggle.  This application gives the experimenter that view using the
+network itself:
+
+* every node runs a :class:`NeighborReporter` that periodically
+  publishes the set of neighbors it has recently *heard* (drawn from
+  its link-layer :class:`~repro.link.neighbor.NeighborTable` or, in
+  simulation, from received-message history);
+* a :class:`TopologyMonitor` at the monitoring station assembles the
+  reports into a directed connectivity graph (networkx) and answers the
+  questions the paper's debugging needed: is the network partitioned?
+  how many hops across?  which links are asymmetric?
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.api import DiffusionRouting
+from repro.naming import Attribute, AttributeVector, Operator
+from repro.naming.keys import Key
+
+TOPOLOGY_TYPE = "topology-report"
+
+
+def encode_neighbor_list(neighbors) -> bytes:
+    return b"".join(struct.pack("<H", n) for n in sorted(neighbors))
+
+
+def decode_neighbor_list(payload: bytes) -> List[int]:
+    if len(payload) % 2:
+        raise ValueError("neighbor payload must be uint16-aligned")
+    return [
+        struct.unpack_from("<H", payload, offset)[0]
+        for offset in range(0, len(payload), 2)
+    ]
+
+
+class NeighborReporter:
+    """Publishes who this node has heard recently."""
+
+    def __init__(
+        self,
+        api: DiffusionRouting,
+        interval: float = 30.0,
+        window: float = 60.0,
+        report_type: str = TOPOLOGY_TYPE,
+    ) -> None:
+        self.api = api
+        self.interval = interval
+        self.window = window
+        self.reports_sent = 0
+        self._heard: Dict[int, float] = {}
+        self._publication = api.publish(
+            AttributeVector.builder()
+            .actual(Key.TYPE, report_type)
+            .actual(Key.INSTANCE, f"node-{api.node_id}")
+            .build()
+        )
+        # Tap the node's receive path to learn neighbors.
+        node = api.node
+        original = node._on_network_message
+
+        def tapped(message, src, nbytes):
+            self._heard[src] = node.sim.now
+            original(message, src, nbytes)
+
+        node._on_network_message = tapped
+        if node.transport is not None:
+            node.transport.deliver_callback = tapped
+        self._timer = node.sim.schedule(
+            interval * (0.5 + (api.node_id % 7) / 14.0),
+            self._tick,
+            name="topomon.tick",
+        )
+
+    def recent_neighbors(self) -> List[int]:
+        now = self.api.node.sim.now
+        return sorted(
+            n for n, t in self._heard.items() if now - t <= self.window
+        )
+
+    def _tick(self) -> None:
+        neighbors = self.recent_neighbors()
+        attrs = (
+            AttributeVector.builder()
+            .actual(Key.SEQUENCE, self.reports_sent)
+            .build()
+            .with_attribute(
+                Attribute.blob(
+                    Key.PAYLOAD, Operator.IS, encode_neighbor_list(neighbors)
+                )
+            )
+        )
+        self.api.send(self._publication, attrs)
+        self.reports_sent += 1
+        self._timer = self.api.node.sim.schedule(
+            self.interval, self._tick, name="topomon.tick"
+        )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+
+
+@dataclass
+class TopologySnapshot:
+    """Connectivity analysis derived from the reports."""
+
+    graph: "nx.DiGraph"
+    reporting_nodes: Set[int]
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def link_count(self) -> int:
+        return self.graph.number_of_edges()
+
+    def asymmetric_links(self) -> List[Tuple[int, int]]:
+        """Directed links whose reverse was not reported — the paper's
+        "some experiments seemed to show asymmetric links"."""
+        return sorted(
+            (a, b)
+            for a, b in self.graph.edges
+            if not self.graph.has_edge(b, a)
+        )
+
+    def is_connected(self) -> bool:
+        if self.graph.number_of_nodes() <= 1:
+            return True
+        return nx.is_weakly_connected(self.graph)
+
+    def partitions(self) -> List[Set[int]]:
+        return [set(c) for c in nx.weakly_connected_components(self.graph)]
+
+    def hops_across(self) -> Optional[int]:
+        """The network diameter over bidirectional links ("the network
+        is typically 5 hops across")."""
+        undirected = nx.Graph(
+            (a, b) for a, b in self.graph.edges if self.graph.has_edge(b, a)
+        )
+        if undirected.number_of_nodes() == 0:
+            return None
+        if not nx.is_connected(undirected):
+            return None
+        return nx.diameter(undirected)
+
+    def hop_count(self, a: int, b: int) -> Optional[int]:
+        try:
+            return nx.shortest_path_length(self.graph, a, b)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+
+class TopologyMonitor:
+    """The monitoring station: builds the graph from reports."""
+
+    def __init__(
+        self,
+        api: DiffusionRouting,
+        report_type: str = TOPOLOGY_TYPE,
+        interval_ms: int = 30_000,
+    ) -> None:
+        self.api = api
+        self.reports_received = 0
+        self._neighbor_sets: Dict[int, List[int]] = {}
+        sub = (
+            AttributeVector.builder()
+            .eq(Key.TYPE, report_type)
+            .actual(Key.INTERVAL, interval_ms)
+            .build()
+        )
+        api.subscribe(sub, self._on_report)
+
+    def _on_report(self, attrs: AttributeVector, message) -> None:
+        instance = attrs.value_of(Key.INSTANCE)
+        payload = attrs.value_of(Key.PAYLOAD)
+        if instance is None or not isinstance(payload, bytes):
+            return
+        if not instance.startswith("node-"):
+            return
+        try:
+            node_id = int(instance.split("-", 1)[1])
+            neighbors = decode_neighbor_list(payload)
+        except ValueError:
+            return
+        self.reports_received += 1
+        self._neighbor_sets[node_id] = neighbors
+
+    def snapshot(self) -> TopologySnapshot:
+        """The current connectivity picture.
+
+        An edge a->b means "a heard b" — i.e. the radio link b->a
+        works; we store it in reception direction (b transmits, a
+        receives) as b->a.
+        """
+        graph = nx.DiGraph()
+        for node_id, neighbors in self._neighbor_sets.items():
+            graph.add_node(node_id)
+            for neighbor in neighbors:
+                graph.add_edge(neighbor, node_id)
+        return TopologySnapshot(
+            graph=graph, reporting_nodes=set(self._neighbor_sets)
+        )

@@ -1,0 +1,131 @@
+"""Network Routing API (paper Figure 4 / Coffin et al. [13]).
+
+A thin facade over :class:`~repro.core.node.DiffusionNode` exposing the
+publish/subscribe interface the paper defines::
+
+    handle NR::subscribe(NRAttrVec *subscribeAttrs, const NR::Callback *cb);
+    int    NR::unsubscribe(handle subscriptionHandle);
+    handle NR::publish(NRAttrVec *publishAttrs);
+    int    NR::unpublish(handle publication_handle);
+    int    NR::send(handle publication_handle, NRAttrVec *sendAttrs);
+
+plus the filter API of Figure 5 (``addFilter``/``removeFilter``/
+``sendMessage``/``sendMessageToNext``).  The callback style is
+event-driven, as the paper's implementations favour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.filter_api import FilterHandle
+from repro.core.messages import Message
+from repro.core.node import DiffusionNode
+from repro.naming import AttributeVector
+
+
+@dataclass(frozen=True)
+class SubscriptionHandle:
+    """Opaque subscription identifier."""
+
+    handle_id: int
+    node_id: int
+
+
+@dataclass(frozen=True)
+class PublicationHandle:
+    """Opaque publication identifier."""
+
+    handle_id: int
+    node_id: int
+
+
+class DiffusionRouting:
+    """The per-node API object applications hold."""
+
+    def __init__(self, node: DiffusionNode) -> None:
+        self._node = node
+
+    @property
+    def node_id(self) -> int:
+        return self._node.node_id
+
+    @property
+    def node(self) -> DiffusionNode:
+        return self._node
+
+    # -- publish/subscribe ----------------------------------------------------
+
+    def subscribe(
+        self,
+        attrs: AttributeVector,
+        callback: Callable[[AttributeVector, Message], None],
+    ) -> SubscriptionHandle:
+        """Register interest in data matching ``attrs``.
+
+        Interests are flooded immediately and refreshed periodically;
+        ``callback(data_attrs, message)`` fires for every matching
+        message delivered at this node (including interest messages, for
+        applications that "subscribe for subscriptions").
+        """
+        handle_id = self._node.subscribe(attrs, callback)
+        return SubscriptionHandle(handle_id=handle_id, node_id=self.node_id)
+
+    def unsubscribe(self, handle: SubscriptionHandle) -> bool:
+        """Stop the subscription; returns False for unknown handles."""
+        return self._node.unsubscribe(handle.handle_id)
+
+    def publish(self, attrs: AttributeVector) -> PublicationHandle:
+        """Declare a data source.  Data sent through the returned handle
+        carries these attributes merged with the per-send attributes."""
+        handle_id = self._node.publish(attrs)
+        return PublicationHandle(handle_id=handle_id, node_id=self.node_id)
+
+    def unpublish(self, handle: PublicationHandle) -> bool:
+        return self._node.unpublish(handle.handle_id)
+
+    def send(
+        self,
+        handle: PublicationHandle,
+        attrs: AttributeVector,
+        padding_bytes: int = 0,
+        force_exploratory: bool = False,
+    ) -> Optional[Message]:
+        """Send one data message.  If no matching interest has reached
+        this node, the data does not leave it (paper Section 4.1).
+
+        ``force_exploratory`` marks the message exploratory regardless
+        of the publication's cadence — low-rate control-style traffic
+        (e.g. loss-recovery requests) uses this to guarantee flooding
+        progress even when no reinforced path is alive.
+        """
+        return self._node.send(
+            handle.handle_id,
+            attrs,
+            padding_bytes=padding_bytes,
+            force_exploratory=force_exploratory,
+        )
+
+    # -- filters -------------------------------------------------------------------
+
+    def add_filter(
+        self,
+        attrs: AttributeVector,
+        priority: int,
+        callback: Callable[[Message, FilterHandle], None],
+        name: str = "",
+    ) -> FilterHandle:
+        """Inject application code into this node's message pipeline."""
+        return self._node.add_filter(attrs, priority, callback, name=name)
+
+    def remove_filter(self, handle: FilterHandle) -> bool:
+        return self._node.remove_filter(handle)
+
+    def send_message(self, message: Message, handle: FilterHandle) -> None:
+        """From a filter callback: pass the message down the pipeline."""
+        self._node.send_message(message, handle)
+
+    def send_message_to_next(self, message: Message, handle: FilterHandle) -> None:
+        """From a filter callback: hand the message straight to the radio."""
+        self._node.send_message_to_next(message, handle)

@@ -1,0 +1,61 @@
+"""The filter API (paper Figure 5).
+
+A filter is a callback registered with an attribute match spec and a
+priority.  When a message enters the node, matching filters run from
+highest to lowest priority; each filter decides whether processing
+continues by calling ``send_message`` (continue down the pipeline) or
+``send_message_to_next`` (skip straight to the network), or by doing
+nothing (the message dies).  The diffusion core's own routing logic is
+itself a filter at :data:`GRADIENT_FILTER_PRIORITY`, so applications
+can interpose above or below it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from repro.naming import AttributeVector, one_way_match
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.messages import Message
+
+#: priority of the built-in gradient (routing) filter; application
+#: filters above this value see messages before routing, below after.
+GRADIENT_FILTER_PRIORITY = 80
+
+_handle_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class FilterHandle:
+    """Opaque identifier returned by ``add_filter``."""
+
+    handle_id: int
+    priority: int
+
+
+@dataclass
+class Filter:
+    """One registered filter."""
+
+    attrs: AttributeVector
+    priority: int
+    callback: Callable[["Message", FilterHandle], None]
+    handle: FilterHandle = field(default=None)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.handle is None:
+            self.handle = FilterHandle(next(_handle_counter), self.priority)
+        if not 1 <= self.priority <= 254:
+            raise ValueError("filter priority must be within [1, 254]")
+
+    def matches(self, message: "Message") -> bool:
+        """Filter attrs one-way match the message's effective attributes.
+
+        The message side contributes the implicit ``class IS <type>``
+        actual so filters can select interests vs data.
+        """
+        return one_way_match(list(self.attrs), list(message.matching_attrs()))

@@ -1,0 +1,240 @@
+"""Gradient state (paper Section 3.1).
+
+"To each such neighbor, it sets up a gradient.  A gradient represents
+both the direction towards which data matching an interest flows, and
+the status of that demand."
+
+The table is keyed by interest digest.  Each entry tracks:
+
+* plain gradients — one per neighbor the interest arrived from, with an
+  expiry refreshed by interest re-floods;
+* reinforced gradients — per (data origin, neighbor) pairs created by
+  positive reinforcement, used to forward non-exploratory data;
+* upstream pointers — per data origin, the neighbor that delivered the
+  first copy of the newest exploratory message, along which
+  reinforcements propagate toward that source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.naming import AttributeVector, one_way_match
+
+
+@dataclass
+class Gradient:
+    """Demand from one neighbor for one interest."""
+
+    neighbor: int
+    expires_at: float
+    interval: Optional[float] = None  # requested data interval, if any
+
+    def active(self, now: float) -> bool:
+        return self.expires_at > now
+
+
+@dataclass
+class ReinforcedGradient:
+    """A reinforced downstream hop for (interest, data origin)."""
+
+    neighbor: int
+    data_origin: int
+    expires_at: float
+
+    def active(self, now: float) -> bool:
+        return self.expires_at > now
+
+
+@dataclass
+class UpstreamPointer:
+    """Where the newest exploratory data for a given origin came from.
+
+    ``neighbors`` lists every neighbor that delivered a copy of the
+    current generation, in arrival order; the first is the preferred
+    (lowest-latency) one.  Multipath reinforcement uses the rest.
+    """
+
+    neighbor: Optional[int]      # None when this node is the origin itself
+    exploratory_id: Tuple[int, int]
+    heard_at: float
+    neighbors: List[Optional[int]] = field(default_factory=list)
+
+
+class InterestEntry:
+    """All state for one distinct interest."""
+
+    def __init__(self, digest: bytes, attrs: AttributeVector) -> None:
+        self.digest = digest
+        self.attrs = attrs
+        self.gradients: Dict[int, Gradient] = {}
+        # (data_origin, neighbor) -> ReinforcedGradient
+        self.reinforced: Dict[Tuple[int, int], ReinforcedGradient] = {}
+        # data_origin -> UpstreamPointer
+        self.upstream: Dict[int, UpstreamPointer] = {}
+        # data_origin -> neighbors this node (as a sink) last reinforced
+        self.sink_preferred: Dict[int, List[int]] = {}
+        self.last_refresh: float = 0.0
+        self.local_sink = False       # a local subscription created this
+
+    # -- gradients -----------------------------------------------------------
+
+    def update_gradient(
+        self, neighbor: int, now: float, timeout: float, interval: Optional[float] = None
+    ) -> Gradient:
+        gradient = self.gradients.get(neighbor)
+        if gradient is None:
+            gradient = Gradient(neighbor=neighbor, expires_at=now + timeout,
+                                interval=interval)
+            self.gradients[neighbor] = gradient
+        else:
+            gradient.expires_at = now + timeout
+            if interval is not None:
+                gradient.interval = interval
+        self.last_refresh = now
+        return gradient
+
+    def active_gradient_neighbors(self, now: float) -> List[int]:
+        return sorted(
+            neighbor
+            for neighbor, gradient in self.gradients.items()
+            if gradient.active(now)
+        )
+
+    def has_demand(self, now: float) -> bool:
+        """Anyone (local or remote) still asking for this data?"""
+        return self.local_sink or bool(self.active_gradient_neighbors(now))
+
+    # -- reinforcement ----------------------------------------------------------
+
+    def reinforce(
+        self, data_origin: int, neighbor: int, now: float, timeout: float
+    ) -> ReinforcedGradient:
+        key = (data_origin, neighbor)
+        entry = self.reinforced.get(key)
+        if entry is None:
+            entry = ReinforcedGradient(
+                neighbor=neighbor, data_origin=data_origin, expires_at=now + timeout
+            )
+            self.reinforced[key] = entry
+        else:
+            entry.expires_at = now + timeout
+        return entry
+
+    def unreinforce(self, data_origin: int, neighbor: int) -> bool:
+        return self.reinforced.pop((data_origin, neighbor), None) is not None
+
+    def reinforced_neighbors(self, data_origin: int, now: float) -> List[int]:
+        return sorted(
+            entry.neighbor
+            for (origin, _), entry in self.reinforced.items()
+            if origin == data_origin and entry.active(now)
+        )
+
+    def any_reinforced(self, now: float) -> bool:
+        return any(entry.active(now) for entry in self.reinforced.values())
+
+    # -- upstream tracking --------------------------------------------------------
+
+    def note_exploratory(
+        self,
+        data_origin: int,
+        exploratory_id: Tuple[int, int],
+        neighbor: Optional[int],
+        now: float,
+    ) -> bool:
+        """Record a copy of an exploratory message.
+
+        Returns True when this copy started a new generation (it was
+        the first to arrive); later copies of the same generation are
+        appended to the pointer's neighbor list for multipath use.
+        """
+        pointer = self.upstream.get(data_origin)
+        if pointer is not None and pointer.exploratory_id == exploratory_id:
+            if neighbor not in pointer.neighbors:
+                pointer.neighbors.append(neighbor)
+            return False
+        self.upstream[data_origin] = UpstreamPointer(
+            neighbor=neighbor,
+            exploratory_id=exploratory_id,
+            heard_at=now,
+            neighbors=[neighbor],
+        )
+        return True
+
+    def upstream_neighbors(self, data_origin: int) -> List[Optional[int]]:
+        """All neighbors that delivered the newest generation, in
+        arrival order (first = preferred)."""
+        pointer = self.upstream.get(data_origin)
+        return list(pointer.neighbors) if pointer is not None else []
+
+    def upstream_neighbor(self, data_origin: int) -> Optional[int]:
+        pointer = self.upstream.get(data_origin)
+        return pointer.neighbor if pointer is not None else None
+
+    # -- housekeeping ---------------------------------------------------------------
+
+    def sweep(self, now: float) -> None:
+        """Drop expired gradients and reinforcements."""
+        self.gradients = {
+            n: g for n, g in self.gradients.items() if g.active(now)
+        }
+        self.reinforced = {
+            k: r for k, r in self.reinforced.items() if r.active(now)
+        }
+
+
+class GradientTable:
+    """All interest entries known at one node."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[bytes, InterestEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[InterestEntry]:
+        return list(self._entries.values())
+
+    def entry_for(self, attrs: AttributeVector) -> InterestEntry:
+        """Get or create the entry for an interest's attribute vector."""
+        digest = attrs.digest()
+        entry = self._entries.get(digest)
+        if entry is None:
+            entry = InterestEntry(digest=digest, attrs=attrs)
+            self._entries[digest] = entry
+        return entry
+
+    def get(self, digest: bytes) -> Optional[InterestEntry]:
+        return self._entries.get(digest)
+
+    def matching_data(
+        self, data_attrs: AttributeVector, now: float
+    ) -> List[InterestEntry]:
+        """Entries whose interest formals are satisfied by this data.
+
+        The in-network forwarding decision: interest -> data one-way
+        match, restricted to entries that still have active demand.
+        """
+        matches = []
+        for entry in self._entries.values():
+            if not entry.has_demand(now):
+                continue
+            if one_way_match(list(entry.attrs), list(data_attrs)):
+                matches.append(entry)
+        return matches
+
+    def sweep(self, now: float) -> None:
+        """Expire gradients; drop entries with no state left at all."""
+        dead = []
+        for digest, entry in self._entries.items():
+            entry.sweep(now)
+            if (
+                not entry.local_sink
+                and not entry.gradients
+                and not entry.reinforced
+            ):
+                dead.append(digest)
+        for digest in dead:
+            del self._entries[digest]

@@ -1,0 +1,163 @@
+"""Diffusion messages.
+
+Every message carries an attribute vector plus a small fixed header:
+message class, a per-origin unique id (for duplicate suppression and
+loop prevention), and hop-by-hop link addressing.  Nodes never use
+end-to-end addresses — ``last_hop``/``next_hop`` name immediate
+neighbors only (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.naming import AttributeVector, encoded_size
+from repro.naming.attribute import Attribute, Operator, ValueType
+from repro.naming.keys import ClassValue, Key
+
+#: link-layer broadcast marker for ``next_hop``
+BROADCAST = None
+
+
+class MessageType(enum.IntEnum):
+    """Protocol-level message classes."""
+
+    INTEREST = 1
+    DATA = 2
+    EXPLORATORY_DATA = 3
+    POSITIVE_REINFORCEMENT = 4
+    NEGATIVE_REINFORCEMENT = 5
+
+    @property
+    def class_value(self) -> ClassValue:
+        """The implicit ``class IS ...`` attribute value for matching."""
+        return {
+            MessageType.INTEREST: ClassValue.INTEREST,
+            MessageType.DATA: ClassValue.DATA,
+            MessageType.EXPLORATORY_DATA: ClassValue.EXPLORATORY,
+            MessageType.POSITIVE_REINFORCEMENT: ClassValue.REINFORCEMENT,
+            MessageType.NEGATIVE_REINFORCEMENT: ClassValue.NEGATIVE_REINFORCEMENT,
+        }[self]
+
+    @property
+    def is_data(self) -> bool:
+        return self in (MessageType.DATA, MessageType.EXPLORATORY_DATA)
+
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One diffusion message.
+
+    ``msg_id`` is unique per origin node; together with ``origin`` it
+    identifies the message network-wide for duplicate suppression.
+    ``data_origin``/``data_seq`` survive forwarding unchanged and
+    identify the original data message a reinforcement refers to.
+    """
+
+    msg_type: MessageType
+    attrs: AttributeVector
+    origin: int                       # node that created this message
+    msg_id: int = 0                   # per-origin unique id
+    last_hop: Optional[int] = None    # filled on reception
+    next_hop: Optional[int] = BROADCAST
+    # For reinforcements: which (interest, source) pair they concern.
+    interest_digest: Optional[bytes] = None
+    data_origin: Optional[int] = None
+    # Push diffusion: the stable publication signature this data message
+    # advertises (None for classic pull-mode data).
+    push_attrs: Optional[AttributeVector] = None
+    header_bytes: int = 24
+    padding_bytes: int = 0            # explicit size padding (test harnesses)
+
+    def __post_init__(self) -> None:
+        if self.msg_id == 0:
+            self.msg_id = next(_msg_counter)
+
+    @property
+    def unique_id(self) -> Tuple[int, int]:
+        return (self.origin, self.msg_id)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes this message occupies on the wire."""
+        return self.header_bytes + encoded_size(list(self.attrs)) + self.padding_bytes
+
+    def matching_attrs(self) -> AttributeVector:
+        """Attributes used for filter matching: payload attrs plus the
+        implicit ``class IS <type>`` actual (paper Section 3.2)."""
+        class_attr = Attribute(
+            int(Key.CLASS), ValueType.INT32, Operator.IS, int(self.msg_type.class_value)
+        )
+        return self.attrs.with_attribute(class_attr)
+
+    def forwarded_copy(self, next_hop: Optional[int]) -> "Message":
+        """A copy for retransmission: same identity, new next hop."""
+        return replace(self, next_hop=next_hop)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Message {self.msg_type.name} id={self.unique_id} "
+            f"from={self.last_hop} to={self.next_hop} {self.nbytes}B>"
+        )
+
+
+def make_interest(
+    attrs: AttributeVector, origin: int, header_bytes: int = 24
+) -> Message:
+    return Message(
+        msg_type=MessageType.INTEREST,
+        attrs=attrs,
+        origin=origin,
+        header_bytes=header_bytes,
+    )
+
+
+def make_data(
+    attrs: AttributeVector,
+    origin: int,
+    exploratory: bool,
+    header_bytes: int = 24,
+    padding_bytes: int = 0,
+    push_attrs: Optional[AttributeVector] = None,
+) -> Message:
+    msg_type = MessageType.EXPLORATORY_DATA if exploratory else MessageType.DATA
+    return Message(
+        msg_type=msg_type,
+        attrs=attrs,
+        origin=origin,
+        data_origin=origin,
+        header_bytes=header_bytes,
+        padding_bytes=padding_bytes,
+        push_attrs=push_attrs,
+    )
+
+
+def make_reinforcement(
+    positive: bool,
+    interest_attrs: AttributeVector,
+    interest_digest: bytes,
+    data_origin: int,
+    origin: int,
+    next_hop: int,
+    header_bytes: int = 24,
+) -> Message:
+    msg_type = (
+        MessageType.POSITIVE_REINFORCEMENT
+        if positive
+        else MessageType.NEGATIVE_REINFORCEMENT
+    )
+    return Message(
+        msg_type=msg_type,
+        attrs=interest_attrs,
+        origin=origin,
+        next_hop=next_hop,
+        interest_digest=interest_digest,
+        data_origin=data_origin,
+        header_bytes=header_bytes,
+    )

@@ -1,0 +1,630 @@
+"""DiffusionNode: the per-node diffusion core.
+
+One instance runs on every sensor node.  It owns the gradient table,
+the duplicate cache, the filter pipeline, and the protocol logic of
+two-phase-pull directed diffusion:
+
+* interests flood (with per-message dedup) and set up gradients;
+* exploratory data floods along gradients and records upstream pointers;
+* sinks reinforce the neighbor that delivered the first copy of each new
+  exploratory generation; reinforcements propagate hop-by-hop along the
+  upstream pointers toward each source;
+* non-exploratory data travels only on reinforced gradients;
+* negative reinforcements tear down abandoned paths when a sink switches
+  preferred neighbors.
+
+The core's routing runs as a built-in filter at
+:data:`~repro.core.filter_api.GRADIENT_FILTER_PRIORITY`, so application
+filters can interpose above it (see the aggregation and nested-query
+filters in :mod:`repro.filters`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.core.cache import DataCache
+from repro.core.config import DiffusionConfig
+from repro.core.filter_api import Filter, FilterHandle, GRADIENT_FILTER_PRIORITY
+from repro.core.gradient import GradientTable, InterestEntry
+from repro.core.messages import (
+    BROADCAST,
+    Message,
+    MessageType,
+    make_data,
+    make_interest,
+    make_reinforcement,
+)
+from repro.naming import AttributeVector, two_way_match
+from repro.naming.keys import Key
+from repro.sim import Simulator, TraceBus
+
+_subscription_ids = itertools.count(1)
+_publication_ids = itertools.count(1)
+
+
+@dataclass
+class Subscription:
+    """A local data sink (or interest watcher)."""
+
+    handle_id: int
+    attrs: AttributeVector
+    callback: Callable[[AttributeVector, Message], None]
+    periodic_event: object = None
+    entry: InterestEntry = None
+
+
+@dataclass
+class Publication:
+    """A local data source."""
+
+    handle_id: int
+    attrs: AttributeVector
+    sends: int = 0
+    last_exploratory: Optional[float] = None
+
+
+class NodeStats:
+    """Traffic counters for experiments (bytes/messages by type)."""
+
+    def __init__(self) -> None:
+        self.bytes_sent: int = 0
+        self.messages_sent: int = 0
+        self.bytes_by_type: Dict[MessageType, int] = {t: 0 for t in MessageType}
+        self.messages_by_type: Dict[MessageType, int] = {t: 0 for t in MessageType}
+        self.messages_received: int = 0
+        self.events_delivered: int = 0
+        self.messages_dropped_no_route: int = 0
+        self.duplicates_suppressed: int = 0
+
+    def count_tx(self, message: Message) -> None:
+        self.bytes_sent += message.nbytes
+        self.messages_sent += 1
+        self.bytes_by_type[message.msg_type] += message.nbytes
+        self.messages_by_type[message.msg_type] += 1
+
+
+class DiffusionNode:
+    """Diffusion core bound to one node's link stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        transport,
+        config: Optional[DiffusionConfig] = None,
+        trace: Optional[TraceBus] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.transport = transport  # FragmentationLayer-compatible
+        self.config = config or DiffusionConfig()
+        self.config.validate()
+        self.trace = trace or TraceBus()
+        self.rng = rng or random.Random(node_id)
+        self.stats = NodeStats()
+
+        self.gradients = GradientTable()
+        self.cache = DataCache(
+            capacity=self.config.cache_capacity,
+            timeout=self.config.cache_timeout,
+        )
+        self.subscriptions: Dict[int, Subscription] = {}
+        self.publications: Dict[int, Publication] = {}
+        self._filters: List[Filter] = []
+        self._sweep_event = None
+
+        if transport is not None:
+            transport.deliver_callback = self._on_network_message
+
+        # The routing core is itself a filter: an empty attribute vector
+        # has no formals, so it matches every message.
+        self._gradient_filter = Filter(
+            attrs=AttributeVector(),
+            priority=GRADIENT_FILTER_PRIORITY,
+            callback=self._gradient_filter_callback,
+            name="gradient-core",
+        )
+        self._filters.append(self._gradient_filter)
+        self._schedule_sweep()
+
+    # ------------------------------------------------------------------
+    # Filter pipeline
+    # ------------------------------------------------------------------
+
+    def add_filter(
+        self,
+        attrs: AttributeVector,
+        priority: int,
+        callback: Callable[[Message, FilterHandle], None],
+        name: str = "",
+    ) -> FilterHandle:
+        """Register an application filter (paper Figure 5, ``addFilter``)."""
+        if priority == GRADIENT_FILTER_PRIORITY:
+            raise ValueError(
+                f"priority {GRADIENT_FILTER_PRIORITY} is reserved for the core"
+            )
+        filt = Filter(attrs=attrs, priority=priority, callback=callback, name=name)
+        self._filters.append(filt)
+        self._filters.sort(key=lambda f: -f.priority)
+        return filt.handle
+
+    def remove_filter(self, handle: FilterHandle) -> bool:
+        """``removeFilter``: deregister; returns False when unknown."""
+        for filt in self._filters:
+            if filt.handle == handle and filt is not self._gradient_filter:
+                self._filters.remove(filt)
+                return True
+        return False
+
+    def send_message(self, message: Message, handle: FilterHandle) -> None:
+        """Filter API: continue pipeline below the caller's priority."""
+        self._run_pipeline(message, below_priority=handle.priority)
+
+    def send_message_to_next(self, message: Message, handle: FilterHandle) -> None:
+        """Filter API: bypass remaining filters, hand to the radio."""
+        self._transmit(message)
+
+    def _run_pipeline(self, message: Message, below_priority: int = 255) -> None:
+        for filt in self._filters:  # sorted by descending priority
+            if filt.priority >= below_priority:
+                continue
+            if filt.matches(message):
+                filt.callback(message, filt.handle)
+                return
+        # No filter claimed the message; it dies silently (same as the
+        # reference implementation when no filter matches).
+
+    # ------------------------------------------------------------------
+    # Publish/subscribe API (used via repro.core.api.DiffusionRouting)
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        attrs: AttributeVector,
+        callback: Callable[[AttributeVector, Message], None],
+    ) -> int:
+        """Create a subscription; floods interests periodically."""
+        handle_id = next(_subscription_ids)
+        entry = self.gradients.entry_for(attrs)
+        entry.local_sink = True
+        sub = Subscription(
+            handle_id=handle_id, attrs=attrs, callback=callback, entry=entry
+        )
+        self.subscriptions[handle_id] = sub
+        if not self.config.push_mode:
+            self._originate_interest(sub)
+        return handle_id
+
+    def unsubscribe(self, handle_id: int) -> bool:
+        sub = self.subscriptions.pop(handle_id, None)
+        if sub is None:
+            return False
+        if sub.periodic_event is not None:
+            sub.periodic_event.cancel()
+        still_local = any(
+            other.entry is sub.entry for other in self.subscriptions.values()
+        )
+        if not still_local:
+            sub.entry.local_sink = False
+        return True
+
+    def publish(self, attrs: AttributeVector) -> int:
+        handle_id = next(_publication_ids)
+        self.publications[handle_id] = Publication(handle_id=handle_id, attrs=attrs)
+        return handle_id
+
+    def unpublish(self, handle_id: int) -> bool:
+        return self.publications.pop(handle_id, None) is not None
+
+    def send(
+        self,
+        publication_handle: int,
+        attrs: AttributeVector,
+        padding_bytes: int = 0,
+        force_exploratory: bool = False,
+    ) -> Optional[Message]:
+        """Send data: publication attrs merged with per-message attrs.
+
+        A message is marked exploratory when ``exploratory_interval``
+        seconds have passed since the last exploratory one (the very
+        first message always is); a count-based cadence applies instead
+        when ``config.exploratory_every`` is set.  Returns the message,
+        or None when the publication handle is unknown.
+        """
+        pub = self.publications.get(publication_handle)
+        if pub is None:
+            return None
+        merged = AttributeVector(list(pub.attrs) + list(attrs))
+        if force_exploratory:
+            exploratory = True
+        elif self.config.exploratory_every is not None:
+            exploratory = pub.sends % self.config.exploratory_every == 0
+        else:
+            exploratory = (
+                pub.last_exploratory is None
+                or self.sim.now - pub.last_exploratory
+                >= self.config.exploratory_interval
+            )
+        # Only consume the exploratory slot when the message can leave
+        # the node: a send with no matching demand is dropped, and
+        # burning the slot on it would leave the source without a path
+        # until the next interval.  Push-mode advertisements always
+        # leave — there is no interest state to consult.
+        if self.config.push_mode:
+            has_demand = True
+        else:
+            has_demand = bool(self.gradients.matching_data(merged, self.sim.now))
+        if exploratory and has_demand:
+            pub.last_exploratory = self.sim.now
+        pub.sends += 1
+        message = make_data(
+            attrs=merged,
+            origin=self.node_id,
+            exploratory=exploratory,
+            header_bytes=self.config.header_bytes,
+            padding_bytes=padding_bytes,
+            push_attrs=pub.attrs if self.config.push_mode else None,
+        )
+        self._run_pipeline(message)
+        return message
+
+    # ------------------------------------------------------------------
+    # Interest origination and refresh
+    # ------------------------------------------------------------------
+
+    def _originate_interest(self, sub: Subscription) -> None:
+        if sub.handle_id not in self.subscriptions:
+            return
+        message = make_interest(
+            attrs=sub.attrs,
+            origin=self.node_id,
+            header_bytes=self.config.header_bytes,
+        )
+        self._run_pipeline(message)
+        jitter = self.rng.uniform(0, self.config.interest_jitter)
+        sub.periodic_event = self.sim.schedule(
+            self.config.interest_interval + jitter,
+            self._originate_interest,
+            sub,
+            name="diffusion.interest-refresh",
+        )
+
+    # ------------------------------------------------------------------
+    # Core (gradient filter) processing
+    # ------------------------------------------------------------------
+
+    def _gradient_filter_callback(self, message: Message, handle: FilterHandle) -> None:
+        if message.msg_type is MessageType.INTEREST:
+            self._process_interest(message)
+        elif message.msg_type.is_data:
+            self._process_data(message)
+        else:
+            self._process_reinforcement(message)
+
+    # -- interests -------------------------------------------------------
+
+    def _process_interest(self, message: Message) -> None:
+        now = self.sim.now
+        if self.config.enable_duplicate_suppression and self.cache.seen_before(
+            ("interest", message.unique_id), now
+        ):
+            self.stats.duplicates_suppressed += 1
+            return
+        entry = self.gradients.entry_for(message.attrs)
+        if message.last_hop is not None:
+            interval = message.attrs.value_of(Key.INTERVAL)
+            entry.update_gradient(
+                message.last_hop,
+                now,
+                self.config.gradient_timeout,
+                interval=float(interval) if interval is not None else None,
+            )
+        else:
+            entry.last_refresh = now
+        self._deliver_to_subscriptions(message)
+        # Flood: every node redistributes the interest to its neighbors.
+        self._transmit(message.forwarded_copy(BROADCAST))
+
+    # -- data ----------------------------------------------------------------
+
+    def _process_data(self, message: Message) -> None:
+        now = self.sim.now
+        if self.config.enable_duplicate_suppression and self.cache.seen_before(
+            ("data", message.unique_id), now
+        ):
+            self.stats.duplicates_suppressed += 1
+            if message.msg_type is MessageType.EXPLORATORY_DATA:
+                # Duplicate exploratory copies are not re-forwarded or
+                # re-delivered, but they still carry path information:
+                # each copy's arrival direction extends the upstream
+                # candidate list (what multipath reinforcement selects
+                # from) and refreshes sink-side reinforcement.
+                self._note_duplicate_exploratory(message, now)
+            return
+        if message.push_attrs is not None:
+            self._process_push_data(message, now)
+            return
+        matches = self.gradients.matching_data(message.attrs, now)
+        if not matches:
+            self.stats.messages_dropped_no_route += 1
+            return
+        delivered = self._deliver_to_subscriptions(message)
+        if message.msg_type is MessageType.EXPLORATORY_DATA:
+            self._process_exploratory(message, matches, delivered, now)
+        else:
+            self._forward_plain_data(message, matches, now)
+
+    def _process_push_data(self, message: Message, now: float) -> None:
+        """One-phase push: no interest state exists; data routes on the
+        publication entry carried in ``push_attrs``."""
+        delivered = self._deliver_to_subscriptions(message)
+        entry = self.gradients.entry_for(message.push_attrs)
+        data_origin = (
+            message.data_origin if message.data_origin is not None else message.origin
+        )
+        if message.msg_type is MessageType.EXPLORATORY_DATA:
+            entry.note_exploratory(
+                data_origin, message.unique_id, message.last_hop, now
+            )
+            if (
+                delivered
+                and message.last_hop is not None
+                and self.config.enable_reinforcement
+            ):
+                # A matching local subscription makes this node a sink
+                # for the advertised publication: reinforce toward it.
+                self._sink_reinforce(entry, data_origin, now)
+            # Advertisements flood the whole network (the cost of push).
+            self._transmit(message.forwarded_copy(BROADCAST))
+            return
+        next_hops = [
+            n
+            for n in entry.reinforced_neighbors(data_origin, now)
+            if n != message.last_hop
+        ]
+        if not next_hops:
+            if not delivered:
+                self.stats.messages_dropped_no_route += 1
+            return
+        for neighbor in next_hops:
+            self._transmit(message.forwarded_copy(neighbor))
+
+    def _note_duplicate_exploratory(self, message: Message, now: float) -> None:
+        data_origin = (
+            message.data_origin if message.data_origin is not None else message.origin
+        )
+        if message.push_attrs is not None:
+            entries = [self.gradients.entry_for(message.push_attrs)]
+        else:
+            entries = self.gradients.matching_data(message.attrs, now)
+        for entry in entries:
+            first_copy = entry.note_exploratory(
+                data_origin, message.unique_id, message.last_hop, now
+            )
+            if (
+                entry.local_sink
+                and not first_copy
+                and message.last_hop is not None
+                and self.config.enable_reinforcement
+                and self.config.multipath_degree > 1
+            ):
+                self._sink_reinforce(entry, data_origin, now)
+
+    def _process_exploratory(
+        self,
+        message: Message,
+        matches: List[InterestEntry],
+        delivered_locally: bool,
+        now: float,
+    ) -> None:
+        data_origin = message.data_origin if message.data_origin is not None else message.origin
+        for entry in matches:
+            entry.note_exploratory(
+                data_origin, message.unique_id, message.last_hop, now
+            )
+            if (
+                entry.local_sink
+                and message.last_hop is not None
+                and self.config.enable_reinforcement
+            ):
+                # Reinforce on *every* copy heard, not just the first:
+                # individual reinforcement messages are best-effort and
+                # compete with the exploratory flood, so repetition is
+                # what makes path setup reliable.  note_exploratory has
+                # already pointed "preferred" at the first-copy neighbor.
+                self._sink_reinforce(entry, data_origin, now)
+        # Exploratory data floods onward to find/repair paths.
+        remote_demand = any(
+            entry.active_gradient_neighbors(now) for entry in matches
+        )
+        if remote_demand:
+            self._transmit(message.forwarded_copy(BROADCAST))
+
+    def _sink_reinforce(
+        self, entry: InterestEntry, data_origin: int, now: float
+    ) -> None:
+        """Sink-side path selection for one (interest, source) pair.
+
+        The preferred neighbors are the first ``multipath_degree``
+        distinct deliverers of the newest exploratory generation; with
+        degree 1 this is classic single-path diffusion.
+        """
+        candidates = [
+            n for n in entry.upstream_neighbors(data_origin) if n is not None
+        ]
+        preferred = candidates[: self.config.multipath_degree]
+        if not preferred:
+            return
+        old = entry.sink_preferred.get(data_origin, [])
+        if self.config.enable_negative_reinforcement:
+            for dropped in old:
+                if dropped not in preferred:
+                    self._send_reinforcement(
+                        positive=False,
+                        entry=entry,
+                        data_origin=data_origin,
+                        next_hop=dropped,
+                    )
+        entry.sink_preferred[data_origin] = list(preferred)
+        for next_hop in preferred:
+            self._send_reinforcement(
+                positive=True,
+                entry=entry,
+                data_origin=data_origin,
+                next_hop=next_hop,
+            )
+
+    def _send_reinforcement(
+        self, positive: bool, entry: InterestEntry, data_origin: int, next_hop: int
+    ) -> None:
+        message = make_reinforcement(
+            positive=positive,
+            interest_attrs=entry.attrs,
+            interest_digest=entry.digest,
+            data_origin=data_origin,
+            origin=self.node_id,
+            next_hop=next_hop,
+            header_bytes=self.config.header_bytes,
+        )
+        # Jittered: reinforcements fire while an exploratory flood is in
+        # the air; delaying past the flood keeps them out of collisions.
+        delay = self.rng.uniform(0.05, max(0.05, self.config.reinforcement_jitter))
+        self.sim.schedule(delay, self._transmit, message, name="diffusion.reinforce")
+
+    def _forward_plain_data(
+        self, message: Message, matches: List[InterestEntry], now: float
+    ) -> None:
+        data_origin = message.data_origin if message.data_origin is not None else message.origin
+        if not self.config.enable_reinforcement:
+            # Flooding ablation: data behaves like exploratory data.
+            if any(entry.active_gradient_neighbors(now) for entry in matches):
+                self._transmit(message.forwarded_copy(BROADCAST))
+            return
+        next_hops: List[int] = []
+        for entry in matches:
+            for neighbor in entry.reinforced_neighbors(data_origin, now):
+                if neighbor != message.last_hop and neighbor not in next_hops:
+                    next_hops.append(neighbor)
+        if not next_hops:
+            local = any(entry.local_sink for entry in matches)
+            if not local:
+                self.stats.messages_dropped_no_route += 1
+            return
+        for neighbor in next_hops:
+            self._transmit(message.forwarded_copy(neighbor))
+
+    # -- reinforcement --------------------------------------------------------
+
+    def _process_reinforcement(self, message: Message) -> None:
+        now = self.sim.now
+        if message.interest_digest is None or message.data_origin is None:
+            return
+        entry = self.gradients.get(message.interest_digest)
+        if entry is None:
+            entry = self.gradients.entry_for(message.attrs)
+        positive = message.msg_type is MessageType.POSITIVE_REINFORCEMENT
+        downstream = message.last_hop
+        if downstream is None:
+            return
+        if positive:
+            entry.reinforce(
+                message.data_origin, downstream, now, self.config.reinforced_timeout
+            )
+            upstream = entry.upstream_neighbor(message.data_origin)
+            if upstream is not None:
+                self._send_reinforcement(
+                    positive=True,
+                    entry=entry,
+                    data_origin=message.data_origin,
+                    next_hop=upstream,
+                )
+        else:
+            entry.unreinforce(message.data_origin, downstream)
+            if not entry.reinforced_neighbors(message.data_origin, now):
+                upstream = entry.upstream_neighbor(message.data_origin)
+                if upstream is not None:
+                    self._send_reinforcement(
+                        positive=False,
+                        entry=entry,
+                        data_origin=message.data_origin,
+                        next_hop=upstream,
+                    )
+
+    # ------------------------------------------------------------------
+    # Local delivery
+    # ------------------------------------------------------------------
+
+    def _deliver_to_subscriptions(self, message: Message) -> bool:
+        delivered = False
+        effective = message.matching_attrs()
+        for sub in list(self.subscriptions.values()):
+            if two_way_match(list(sub.attrs), list(effective)):
+                delivered = True
+                self.stats.events_delivered += 1
+                self.trace.emit(
+                    self.sim.now,
+                    "app.deliver",
+                    node=self.node_id,
+                    msg_type=message.msg_type.name,
+                    origin=message.origin,
+                )
+                sub.callback(message.attrs, message)
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Network I/O
+    # ------------------------------------------------------------------
+
+    def _transmit(self, message: Message) -> None:
+        self.stats.count_tx(message)
+        self.trace.emit(
+            self.sim.now,
+            "diffusion.tx",
+            node=self.node_id,
+            nbytes=message.nbytes,
+            msg_type=message.msg_type.name,
+            next_hop=message.next_hop,
+        )
+        if self.transport is not None:
+            self.transport.send_message(message, message.nbytes, message.next_hop)
+
+    def _on_network_message(self, message: Message, src: int, nbytes: int) -> None:
+        if not isinstance(message, Message):
+            return
+        self.stats.messages_received += 1
+        self.trace.emit(
+            self.sim.now,
+            "diffusion.rx",
+            node=self.node_id,
+            nbytes=nbytes,
+            msg_type=message.msg_type.name,
+            src=src,
+        )
+        incoming = replace(message, last_hop=src)
+        self._run_pipeline(incoming)
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+
+    def _schedule_sweep(self) -> None:
+        self._sweep_event = self.sim.schedule(
+            30.0, self._sweep, name="diffusion.sweep"
+        )
+
+    def _sweep(self) -> None:
+        self.gradients.sweep(self.sim.now)
+        self._schedule_sweep()
+
+    def shutdown(self) -> None:
+        """Cancel timers (node failure injection / end of experiment)."""
+        if self._sweep_event is not None:
+            self._sweep_event.cancel()
+        for sub in self.subscriptions.values():
+            if sub.periodic_event is not None:
+                sub.periodic_event.cancel()

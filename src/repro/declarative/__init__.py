@@ -1,0 +1,30 @@
+"""MIT-LL declarative routing (paper Section 4.2).
+
+"Dan Coffin helped define the basic diffusion APIs ... and developed an
+independent implementation in MIT-Lincoln Lab's Declarative Routing
+system.  In principle all applications that do not depend on filters
+will run over either implementation."
+
+This package is that second implementation: the same Figure 4
+publish/subscribe API over the same attribute matching, but
+
+* **no filters** — ``add_filter`` raises; in-network processing is not
+  available (the paper's "critical necessary component" argument);
+* **geography-aided routing built in** — interests carrying a
+  rectangular region are pruned when they stop making progress toward
+  it (what the GEAR *filter* does for diffusion is a core feature
+  here);
+* **energy-aware relaying built in** — "routes are selected to avoid
+  energy-poor nodes": a node below its energy threshold stops relaying
+  interests, so gradients (and therefore data) route around it.
+
+The portability claim is test-enforced: the suite runs identical
+application code over both implementations.
+"""
+
+from repro.declarative.node import (
+    DeclarativeRoutingNode,
+    UnsupportedFeatureError,
+)
+
+__all__ = ["DeclarativeRoutingNode", "UnsupportedFeatureError"]

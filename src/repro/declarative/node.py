@@ -1,0 +1,102 @@
+"""The declarative-routing node.
+
+Deliberately implemented as a small delta on
+:class:`~repro.core.node.DiffusionNode`: the paper stresses that
+"declarative routing and data diffusion are far more similar than they
+are different.  Both name data rather than end-nodes.  Differences are
+in how routes and transmission are optimized."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.filter_api import FilterHandle
+from repro.core.messages import Message
+from repro.core.node import DiffusionNode
+from repro.energy import EnergyLedger
+from repro.filters.gear import distance_to_region, region_of
+from repro.naming import AttributeVector
+from repro.radio.topology import Topology
+
+
+class UnsupportedFeatureError(RuntimeError):
+    """Raised for features declarative routing does not provide."""
+
+
+class DeclarativeRoutingNode(DiffusionNode):
+    """Figure 4 API without filters, with built-in route optimization."""
+
+    def __init__(
+        self,
+        *args,
+        topology: Optional[Topology] = None,
+        energy_ledger: Optional[EnergyLedger] = None,
+        energy_budget: float = 0.0,
+        min_energy_fraction: float = 0.1,
+        gear_slack: float = 5.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.topology = topology
+        self.energy_ledger = energy_ledger
+        self.energy_budget = energy_budget
+        self.min_energy_fraction = min_energy_fraction
+        self.gear_slack = gear_slack
+        self.interests_pruned_geo = 0
+        self.interests_declined_energy = 0
+
+    # -- the defining difference: no filter API ---------------------------
+
+    def add_filter(
+        self,
+        attrs: AttributeVector,
+        priority: int,
+        callback: Callable[[Message, FilterHandle], None],
+        name: str = "",
+    ) -> FilterHandle:
+        raise UnsupportedFeatureError(
+            "declarative routing provides attribute matching but no filters "
+            "(paper Section 4.2); use DiffusionNode for in-network processing"
+        )
+
+    # -- built-in route optimization --------------------------------------------
+
+    def _energy_poor(self) -> bool:
+        if self.energy_ledger is None or self.energy_budget <= 0:
+            return False
+        spent = self.energy_ledger.energy(elapsed=self.sim.now)
+        residual = max(0.0, self.energy_budget - spent)
+        return residual < self.min_energy_fraction * self.energy_budget
+
+    def _geo_prunes(self, message: Message) -> bool:
+        if self.topology is None or message.last_hop is None:
+            return False
+        region = region_of(message.attrs)
+        if region is None:
+            return False
+        if not (
+            self.topology.has_node(self.node_id)
+            and self.topology.has_node(message.last_hop)
+        ):
+            return False
+        here = self.topology.position(self.node_id)
+        there = self.topology.position(message.last_hop)
+        mine = distance_to_region(here.x, here.y, region)
+        theirs = distance_to_region(there.x, there.y, region)
+        return mine > 0.0 and mine >= theirs + self.gear_slack
+
+    def _process_interest(self, message: Message) -> None:
+        if message.last_hop is not None:
+            if self._geo_prunes(message):
+                # Moving away from the requested region: neither set up
+                # a gradient nor re-flood.
+                self.interests_pruned_geo += 1
+                return
+            if self._energy_poor():
+                # Energy-poor nodes abstain from relaying so routes form
+                # around them; local subscriptions still hear interests.
+                self.interests_declined_energy += 1
+                self._deliver_to_subscriptions(message)
+                return
+        super()._process_interest(message)

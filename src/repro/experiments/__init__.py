@@ -1,0 +1,32 @@
+"""Experiment harnesses: one module per paper artifact.
+
+Each module exposes a ``run_*`` function returning structured results
+and a ``main()`` that prints the paper-style table.  The benchmarks in
+``benchmarks/`` are thin wrappers over these.
+"""
+
+from repro.experiments.fig8_aggregation import Fig8Point, run_fig8, run_fig8_trial
+from repro.experiments.fig9_nested import Fig9Point, run_fig9, run_fig9_trial
+from repro.experiments.fig11_matching import (
+    MatchingVariant,
+    build_set_a,
+    build_set_b,
+    measure_matching,
+    run_fig11,
+)
+from repro.experiments.duty_cycle import run_duty_cycle_analysis
+
+__all__ = [
+    "Fig8Point",
+    "run_fig8",
+    "run_fig8_trial",
+    "Fig9Point",
+    "run_fig9",
+    "run_fig9_trial",
+    "MatchingVariant",
+    "build_set_a",
+    "build_set_b",
+    "measure_matching",
+    "run_fig11",
+    "run_duty_cycle_analysis",
+]

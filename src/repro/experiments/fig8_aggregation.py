@@ -1,0 +1,144 @@
+"""Figure 8: bytes per distinct event vs number of sources.
+
+"Figure 8 measures bytes sent from diffusion in all nodes in the system
+normalized to the number of distinct events received.  Each point in
+this graph represents the mean of five 30-minute experiments with 95%
+confidence intervals.  ...  With suppression the amount of traffic is
+roughly constant regardless of the number of sources.  ...  suppression
+is able to reduce traffic by up to 42% for four sources."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis import ConfidenceInterval, mean_ci
+from repro.apps.surveillance import SurveillanceExperiment, SurveillanceResult
+from repro.testbed import FIG8_SINK, FIG8_SOURCES, isi_testbed_network
+
+
+def run_fig8_trial(
+    sources: int,
+    suppression: bool,
+    seed: int,
+    duration: float = 1800.0,
+) -> SurveillanceResult:
+    """One 30-minute experiment at the paper's configuration."""
+    if not 1 <= sources <= len(FIG8_SOURCES):
+        raise ValueError(f"sources must be within [1, {len(FIG8_SOURCES)}]")
+    network = isi_testbed_network(seed=seed)
+    experiment = SurveillanceExperiment(
+        network,
+        sink_id=FIG8_SINK,
+        source_ids=FIG8_SOURCES[:sources],
+        suppression=suppression,
+    )
+    return experiment.run(duration=duration)
+
+
+@dataclass
+class Fig8Point:
+    """One point of Figure 8: mean bytes/event with a 95% CI."""
+
+    sources: int
+    suppression: bool
+    bytes_per_event: ConfidenceInterval
+    delivery_ratio: ConfidenceInterval
+    trials: List[SurveillanceResult]
+
+
+def run_fig8(
+    source_counts: Sequence[int] = (1, 2, 3, 4),
+    trials: int = 5,
+    duration: float = 1800.0,
+    base_seed: int = 100,
+) -> List[Fig8Point]:
+    """The full Figure 8 sweep: both curves, all source counts."""
+    points: List[Fig8Point] = []
+    for suppression in (True, False):
+        for sources in source_counts:
+            results = [
+                run_fig8_trial(
+                    sources,
+                    suppression,
+                    seed=base_seed + trial,
+                    duration=duration,
+                )
+                for trial in range(trials)
+            ]
+            points.append(
+                Fig8Point(
+                    sources=sources,
+                    suppression=suppression,
+                    bytes_per_event=mean_ci([r.bytes_per_event for r in results]),
+                    delivery_ratio=mean_ci([r.delivery_ratio for r in results]),
+                    trials=results,
+                )
+            )
+    return points
+
+
+def savings_at(points: List[Fig8Point], sources: int) -> float:
+    """Fractional traffic saved by suppression at a given source count."""
+    with_supp = next(
+        p for p in points if p.suppression and p.sources == sources
+    )
+    without = next(
+        p for p in points if not p.suppression and p.sources == sources
+    )
+    return 1.0 - with_supp.bytes_per_event.mean / without.bytes_per_event.mean
+
+
+def format_table(points: List[Fig8Point]) -> str:
+    lines = [
+        "Figure 8 — bytes sent per distinct event (mean ± 95% CI)",
+        f"{'sources':>8} {'with suppression':>24} {'without suppression':>24}",
+    ]
+    by_sources = sorted({p.sources for p in points})
+    for sources in by_sources:
+        with_supp = next(
+            (p for p in points if p.suppression and p.sources == sources), None
+        )
+        without = next(
+            (p for p in points if not p.suppression and p.sources == sources), None
+        )
+        cells = []
+        for p in (with_supp, without):
+            cells.append(str(p.bytes_per_event) if p else "-")
+        lines.append(f"{sources:>8} {cells[0]:>24} {cells[1]:>24}")
+    return "\n".join(lines)
+
+
+def format_chart(points: List[Fig8Point]) -> str:
+    from repro.analysis.charts import line_chart
+
+    series = {
+        "with suppression": [
+            (p.sources, p.bytes_per_event.mean) for p in points if p.suppression
+        ],
+        "without suppression": [
+            (p.sources, p.bytes_per_event.mean)
+            for p in points
+            if not p.suppression
+        ],
+    }
+    return line_chart(
+        series,
+        title="Figure 8: bytes/event vs sources",
+        x_label="number of sources",
+        y_label="B/event",
+    )
+
+
+def main(trials: int = 5, duration: float = 1800.0) -> List[Fig8Point]:
+    points = run_fig8(trials=trials, duration=duration)
+    print(format_table(points))
+    print()
+    print(format_chart(points))
+    print(f"savings at 4 sources: {savings_at(points, 4):.0%} (paper: 42%)")
+    return points
+
+
+if __name__ == "__main__":
+    main()

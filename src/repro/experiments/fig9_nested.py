@@ -1,0 +1,148 @@
+"""Figure 9: percentage of audio events delivered, nested vs flat.
+
+"Figure 9 shows the percentage of light change events that successfully
+result in audio data delivered to the user.  (Data points represent the
+mean of three 20-minute experiments and show 95% confidence
+intervals.)  ...  Even with one sensor the flat query shows
+significantly greater loss than the nested query ...  nested queries
+reduce loss rates by 15-30%."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis import ConfidenceInterval, mean_ci
+from repro.apps.nestedquery import NestedQueryExperiment, NestedQueryResult
+from repro.testbed import (
+    FIG9_AUDIO,
+    FIG9_LIGHTS,
+    FIG9_USER,
+    isi_testbed_network,
+)
+
+
+def run_fig9_trial(
+    num_lights: int,
+    nested: bool,
+    seed: int,
+    duration: float = 1200.0,
+) -> NestedQueryResult:
+    """One 20-minute experiment at the paper's configuration."""
+    if not 1 <= num_lights <= len(FIG9_LIGHTS):
+        raise ValueError(f"num_lights must be within [1, {len(FIG9_LIGHTS)}]")
+    network = isi_testbed_network(seed=seed)
+    experiment = NestedQueryExperiment(
+        network,
+        user_id=FIG9_USER,
+        audio_id=FIG9_AUDIO,
+        light_ids=FIG9_LIGHTS[:num_lights],
+        nested=nested,
+    )
+    return experiment.run(duration=duration)
+
+
+@dataclass
+class Fig9Point:
+    """One point of Figure 9: mean delivery % with a 95% CI."""
+
+    num_lights: int
+    nested: bool
+    delivery_percentage: ConfidenceInterval
+    trials: List[NestedQueryResult]
+
+
+def run_fig9(
+    light_counts: Sequence[int] = (1, 2, 3, 4),
+    trials: int = 3,
+    duration: float = 1200.0,
+    base_seed: int = 200,
+) -> List[Fig9Point]:
+    """The full Figure 9 sweep: nested and flat, all sensor counts."""
+    points: List[Fig9Point] = []
+    for nested in (True, False):
+        for num_lights in light_counts:
+            results = [
+                run_fig9_trial(
+                    num_lights, nested, seed=base_seed + trial, duration=duration
+                )
+                for trial in range(trials)
+            ]
+            points.append(
+                Fig9Point(
+                    num_lights=num_lights,
+                    nested=nested,
+                    delivery_percentage=mean_ci(
+                        [r.delivery_percentage for r in results]
+                    ),
+                    trials=results,
+                )
+            )
+    return points
+
+
+def loss_reduction_at(points: List[Fig9Point], num_lights: int) -> float:
+    """Percentage points of loss removed by nesting at a sensor count."""
+    nested = next(p for p in points if p.nested and p.num_lights == num_lights)
+    flat = next(p for p in points if not p.nested and p.num_lights == num_lights)
+    return nested.delivery_percentage.mean - flat.delivery_percentage.mean
+
+
+def format_table(points: List[Fig9Point]) -> str:
+    lines = [
+        "Figure 9 — % audio events delivered to the user (mean ± 95% CI)",
+        f"{'sensors':>8} {'nested (2-level)':>24} {'flat (1-level)':>24}",
+    ]
+    for num_lights in sorted({p.num_lights for p in points}):
+        nested = next(
+            (p for p in points if p.nested and p.num_lights == num_lights), None
+        )
+        flat = next(
+            (p for p in points if not p.nested and p.num_lights == num_lights), None
+        )
+        cells = [
+            str(p.delivery_percentage) if p else "-" for p in (nested, flat)
+        ]
+        lines.append(f"{num_lights:>8} {cells[0]:>24} {cells[1]:>24}")
+    return "\n".join(lines)
+
+
+def format_chart(points: List[Fig9Point]) -> str:
+    from repro.analysis.charts import line_chart
+
+    series = {
+        "nested": [
+            (p.num_lights, p.delivery_percentage.mean)
+            for p in points
+            if p.nested
+        ],
+        "flat": [
+            (p.num_lights, p.delivery_percentage.mean)
+            for p in points
+            if not p.nested
+        ],
+    }
+    return line_chart(
+        series,
+        title="Figure 9: % audio events delivered vs sensors",
+        x_label="number of initial sensors",
+        y_label="%",
+    )
+
+
+def main(trials: int = 3, duration: float = 1200.0) -> List[Fig9Point]:
+    points = run_fig9(trials=trials, duration=duration)
+    print(format_table(points))
+    print()
+    print(format_chart(points))
+    for n in sorted({p.num_lights for p in points}):
+        print(
+            f"loss reduction from nesting at {n} sensor(s): "
+            f"{loss_reduction_at(points, n):.0f} points (paper: 15-30)"
+        )
+    return points
+
+
+if __name__ == "__main__":
+    main()

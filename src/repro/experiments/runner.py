@@ -1,0 +1,112 @@
+"""Run every experiment and emit the EXPERIMENTS.md-style report.
+
+Usage::
+
+    python -m repro.experiments.runner            # full paper scale
+    python -m repro.experiments.runner --quick    # reduced trials/durations
+    python -m repro.experiments.runner --output report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from repro.experiments import (
+    fig8_aggregation,
+    fig9_nested,
+    fig11_matching,
+    duty_cycle,
+)
+from repro.micro import MicroConfig
+from repro.micro.footprint import footprint_report
+from repro.analysis import TrafficModel
+
+
+def run_traffic_model() -> None:
+    model = TrafficModel()
+    print("Section 6.1 analytical traffic model (B/event):")
+    print(f"{'sources':>8} {'aggregated':>12} {'unaggregated':>14}")
+    for row in model.table():
+        print(
+            f"{row['sources']:>8} {row['aggregated']:>12.0f} "
+            f"{row['unaggregated']:>14.0f}"
+        )
+    print(
+        f"paper: flat 990 with aggregation; 990 -> 3289 without "
+        f"(ours reaches {model.bytes_per_event(4, False):.0f}; see EXPERIMENTS.md)"
+    )
+
+
+def run_micro_footprint() -> None:
+    report = footprint_report(MicroConfig())
+    print("Section 4.3 micro-diffusion footprint:")
+    for key, value in report.items():
+        print(f"   {key}: {value}")
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced trials and durations (~20x faster, noisier CIs)",
+    )
+    parser.add_argument(
+        "--only",
+        choices=["fig8", "fig9", "fig11", "duty", "model", "micro"],
+        help="run a single experiment",
+    )
+    parser.add_argument(
+        "--output",
+        help="also write the report to this file (fenced for markdown)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        fig8_kwargs = {"trials": 2, "duration": 600.0}
+        fig9_kwargs = {"trials": 2, "duration": 600.0}
+        fig11_kwargs = {"iterations": 500}
+    else:
+        fig8_kwargs = {"trials": 5, "duration": 1800.0}
+        fig9_kwargs = {"trials": 3, "duration": 1200.0}
+        fig11_kwargs = {"iterations": 2000}
+
+    experiments: List[Tuple[str, Callable[[], None]]] = [
+        ("fig8", lambda: fig8_aggregation.main(**fig8_kwargs)),
+        ("fig9", lambda: fig9_nested.main(**fig9_kwargs)),
+        ("fig11", lambda: fig11_matching.main(**fig11_kwargs)),
+        ("duty", duty_cycle.main),
+        ("model", run_traffic_model),
+        ("micro", run_micro_footprint),
+    ]
+    captured: List[str] = []
+    for name, runner in experiments:
+        if args.only and name != args.only:
+            continue
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            print("=" * 72)
+            print(f"[{name}]")
+            start = time.time()
+            runner()
+            print(f"({name} took {time.time() - start:.1f}s)")
+            print()
+        text = buffer.getvalue()
+        sys.stdout.write(text)
+        captured.append(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("# Experiment report\n\n```text\n")
+            handle.write("".join(captured))
+            handle.write("```\n")
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Monitoring/debugging filter.
+
+Section 3.3: "In addition to these applications, we have found them
+[filters] very useful for debugging and monitoring."  This filter is
+transparent: it records what passes and always forwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.filter_api import FilterHandle
+from repro.core.messages import Message, MessageType
+from repro.core.node import DiffusionNode
+from repro.naming import AttributeVector
+
+
+@dataclass
+class LoggedMessage:
+    """One observation of a message passing through the node."""
+
+    time: float
+    msg_type: MessageType
+    origin: int
+    last_hop: Optional[int]
+    nbytes: int
+
+
+class LoggingFilter:
+    """Transparent tap on a node's message pipeline."""
+
+    def __init__(
+        self,
+        node: DiffusionNode,
+        match_attrs: Optional[AttributeVector] = None,
+        priority: int = 200,
+        keep_records: bool = True,
+        max_records: int = 10_000,
+    ) -> None:
+        self.node = node
+        self.keep_records = keep_records
+        self.max_records = max_records
+        self.records: List[LoggedMessage] = []
+        self.counts: Dict[MessageType, int] = {t: 0 for t in MessageType}
+        self.bytes: Dict[MessageType, int] = {t: 0 for t in MessageType}
+        self.handle = node.add_filter(
+            match_attrs if match_attrs is not None else AttributeVector(),
+            priority,
+            self._callback,
+            name="logging",
+        )
+
+    def _callback(self, message: Message, handle: FilterHandle) -> None:
+        self.counts[message.msg_type] += 1
+        self.bytes[message.msg_type] += message.nbytes
+        if self.keep_records and len(self.records) < self.max_records:
+            self.records.append(
+                LoggedMessage(
+                    time=self.node.sim.now,
+                    msg_type=message.msg_type,
+                    origin=message.origin,
+                    last_hop=message.last_hop,
+                    nbytes=message.nbytes,
+                )
+            )
+        self.node.send_message(message, handle)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.counts.values())
+
+    def remove(self) -> None:
+        self.node.remove_filter(self.handle)

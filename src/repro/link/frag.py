@@ -1,0 +1,148 @@
+"""Message fragmentation and reassembly over 27-byte radio fragments.
+
+Semantics match the testbed: a message of N bytes becomes
+``ceil(N / fragment_payload)`` fragments, each carrying a small
+(message-id, index, count) tag; the receiver delivers the message only
+when *every* fragment of it has arrived.  There is no ARQ, so one lost
+fragment loses the whole message — the effect that makes the paper's
+MAC "perform particularly poorly at high load".
+
+Fragments carry the message object by reference (this is a simulator,
+not a codec); ``nbytes`` drives airtime and traffic accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One radio-sized piece of a message."""
+
+    message_id: Tuple[int, int]  # (origin node, per-node counter)
+    index: int
+    count: int
+    nbytes: int                  # payload bytes carried by this fragment
+    message: Any                 # the full message object (by reference)
+    link_src: int = -1           # filled in by the receiver path
+
+
+class FragmentationLayer:
+    """Per-node fragmentation/reassembly engine.
+
+    Send path: :meth:`send_message` splits a message into fragments and
+    enqueues each on the MAC.  Receive path: modem fragments funnel into
+    :meth:`on_fragment`; complete messages fire ``deliver_callback``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mac,
+        node_id: int,
+        fragment_payload: int = 27,
+        reassembly_timeout: float = 5.0,
+    ) -> None:
+        self.sim = sim
+        self.mac = mac
+        self.node_id = node_id
+        self.fragment_payload = fragment_payload
+        self.reassembly_timeout = reassembly_timeout
+        self.deliver_callback: Optional[Callable[[Any, int, int], None]] = None
+        self._message_counter = 0
+        # (message_id) -> (set of indices received, count, expiry event, nbytes, message, src)
+        self._partial: Dict[Tuple[int, int], dict] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_incomplete = 0
+        self.mac.modem.receive_callback = self._on_modem_fragment
+
+    def fragments_for(self, nbytes: int) -> int:
+        """How many fragments a message of ``nbytes`` needs."""
+        if nbytes <= 0:
+            raise ValueError("message size must be positive")
+        return max(1, math.ceil(nbytes / self.fragment_payload))
+
+    def send_message(
+        self,
+        message: Any,
+        nbytes: int,
+        link_dst: Optional[int] = None,
+    ) -> int:
+        """Fragment and enqueue a message; returns the fragment count."""
+        self._message_counter += 1
+        message_id = (self.node_id, self._message_counter)
+        count = self.fragments_for(nbytes)
+        remaining = nbytes
+        for index in range(count):
+            size = min(self.fragment_payload, remaining)
+            remaining -= size
+            fragment = Fragment(
+                message_id=message_id,
+                index=index,
+                count=count,
+                nbytes=size,
+                message=message,
+            )
+            self.mac.enqueue(fragment, size, link_dst)
+        self.messages_sent += 1
+        return count
+
+    # -- receive ------------------------------------------------------------
+
+    def _on_modem_fragment(
+        self, payload: Any, src: int, nbytes: int, link_dst: Optional[int]
+    ) -> None:
+        if not isinstance(payload, Fragment):
+            return
+        self.on_fragment(payload, src)
+
+    def on_fragment(self, fragment: Fragment, src: int) -> None:
+        if fragment.count == 1:
+            self._deliver(fragment.message, src, fragment.nbytes)
+            return
+        state = self._partial.get(fragment.message_id)
+        if state is None:
+            expiry = self.sim.schedule(
+                self.reassembly_timeout,
+                self._expire,
+                fragment.message_id,
+                name="frag.expire",
+            )
+            state = {
+                "indices": set(),
+                "count": fragment.count,
+                "nbytes": 0,
+                "message": fragment.message,
+                "src": src,
+                "expiry": expiry,
+            }
+            self._partial[fragment.message_id] = state
+        indices: Set[int] = state["indices"]
+        if fragment.index in indices:
+            return
+        indices.add(fragment.index)
+        state["nbytes"] += fragment.nbytes
+        if len(indices) == state["count"]:
+            state["expiry"].cancel()
+            del self._partial[fragment.message_id]
+            self._deliver(state["message"], state["src"], state["nbytes"])
+
+    def _deliver(self, message: Any, src: int, nbytes: int) -> None:
+        self.messages_delivered += 1
+        if self.deliver_callback is not None:
+            self.deliver_callback(message, src, nbytes)
+
+    def _expire(self, message_id: Tuple[int, int]) -> None:
+        if message_id in self._partial:
+            del self._partial[message_id]
+            self.messages_incomplete += 1
+
+    @property
+    def partial_count(self) -> int:
+        return len(self._partial)

@@ -1,0 +1,100 @@
+"""Neighbor identity tracking.
+
+Diffusion nodes "do not need to have globally unique identifiers ...
+Nodes, however, do need to distinguish between neighbors" (Section 3.1).
+The neighbor table records who has been heard recently; the ephemeral
+allocator implements the Elson/Estrin-style random transaction
+identifiers the paper cites [16] as an alternative to persistent MACs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class NeighborEntry:
+    """Bookkeeping for one neighbor."""
+
+    neighbor_id: int
+    first_heard: float
+    last_heard: float
+    messages_heard: int = 1
+
+
+class NeighborTable:
+    """Tracks neighbors by the link-layer identifier they transmit with."""
+
+    def __init__(self, expiry: float = 180.0) -> None:
+        self.expiry = expiry
+        self._entries: Dict[int, NeighborEntry] = {}
+
+    def heard(self, neighbor_id: int, now: float) -> NeighborEntry:
+        entry = self._entries.get(neighbor_id)
+        if entry is None:
+            entry = NeighborEntry(neighbor_id, first_heard=now, last_heard=now)
+            self._entries[neighbor_id] = entry
+        else:
+            entry.last_heard = now
+            entry.messages_heard += 1
+        return entry
+
+    def expire(self, now: float) -> List[int]:
+        """Drop neighbors not heard within ``expiry``; returns the ids."""
+        stale = [
+            nid
+            for nid, entry in self._entries.items()
+            if now - entry.last_heard > self.expiry
+        ]
+        for nid in stale:
+            del self._entries[nid]
+        return stale
+
+    def neighbors(self) -> List[int]:
+        return sorted(self._entries)
+
+    def is_neighbor(self, neighbor_id: int) -> bool:
+        return neighbor_id in self._entries
+
+    def entry(self, neighbor_id: int) -> Optional[NeighborEntry]:
+        return self._entries.get(neighbor_id)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class EphemeralIdAllocator:
+    """Random, collision-avoiding short identifiers (paper ref [16]).
+
+    Identifiers need only be unique within radio range; the allocator
+    draws from a small space and re-draws on observed collision, the
+    essential behaviour of ephemeral transaction identifiers.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None, id_bits: int = 16) -> None:
+        self.rng = rng or random.Random(0)
+        self.id_space = 2**id_bits
+        self._in_use: set = set()
+
+    def allocate(self) -> int:
+        if len(self._in_use) >= self.id_space:
+            raise RuntimeError("ephemeral id space exhausted")
+        while True:
+            candidate = self.rng.randrange(self.id_space)
+            if candidate not in self._in_use:
+                self._in_use.add(candidate)
+                return candidate
+
+    def release(self, ephemeral_id: int) -> None:
+        self._in_use.discard(ephemeral_id)
+
+    def observed_collision(self, ephemeral_id: int) -> int:
+        """Neighbor reported our id in use elsewhere: re-draw."""
+        self.release(ephemeral_id)
+        return self.allocate()
+
+    @property
+    def active(self) -> int:
+        return len(self._in_use)

@@ -1,0 +1,16 @@
+"""Medium access control.
+
+The paper's testbed MAC is "quite unsophisticated, performing only
+simple carrier detection and lacking RTS/CTS or ARQ" (Section 6.1) —
+:class:`~repro.mac.csma.CsmaMac` reproduces exactly that, hidden
+terminals and all.  :class:`~repro.mac.tdma.TdmaMac` is the
+energy-conserving alternative the paper says long-lived networks need
+(duty cycles of 10–15% on WINSng-style nodes).
+"""
+
+from repro.mac.base import Mac, MacStats
+from repro.mac.csma import CsmaMac
+from repro.mac.dutycycle import DutyCycledCsmaMac
+from repro.mac.tdma import TdmaMac
+
+__all__ = ["Mac", "MacStats", "CsmaMac", "DutyCycledCsmaMac", "TdmaMac"]

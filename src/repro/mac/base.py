@@ -1,0 +1,92 @@
+"""Common MAC machinery: the transmit queue and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.radio.modem import BROADCAST_ADDRESS, Modem
+from repro.sim import Simulator
+
+
+@dataclass
+class MacStats:
+    """Counters exposed for experiments and debugging."""
+
+    enqueued: int = 0
+    transmitted: int = 0
+    dropped_queue_full: int = 0
+    backoffs: int = 0
+
+    def reset(self) -> None:
+        self.enqueued = 0
+        self.transmitted = 0
+        self.dropped_queue_full = 0
+        self.backoffs = 0
+
+
+class Mac:
+    """Base class: a FIFO of fragments feeding the modem.
+
+    Subclasses decide *when* the head of the queue may be transmitted by
+    implementing :meth:`_schedule_attempt`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        modem: Modem,
+        queue_limit: int = 64,
+    ) -> None:
+        self.sim = sim
+        self.modem = modem
+        self.queue_limit = queue_limit
+        self.stats = MacStats()
+        self._queue: Deque[Tuple[Any, int, Optional[int]]] = deque()
+        self._busy = False
+
+    @property
+    def node_id(self) -> int:
+        return self.modem.node_id
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def enqueue(
+        self,
+        payload: Any,
+        nbytes: int,
+        link_dst: Optional[int] = BROADCAST_ADDRESS,
+    ) -> bool:
+        """Queue one fragment; returns False when the queue overflowed."""
+        if len(self._queue) >= self.queue_limit:
+            self.stats.dropped_queue_full += 1
+            return False
+        self._queue.append((payload, nbytes, link_dst))
+        self.stats.enqueued += 1
+        if not self._busy:
+            self._busy = True
+            self._schedule_attempt(first=True)
+        return True
+
+    # -- subclass protocol ----------------------------------------------------
+
+    def _schedule_attempt(self, first: bool) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def _transmit_head(self) -> None:
+        payload, nbytes, link_dst = self._queue.popleft()
+        self.stats.transmitted += 1
+        self.modem.transmit_fragment(
+            payload, nbytes, link_dst, on_done=self._after_transmit
+        )
+
+    def _after_transmit(self) -> None:
+        if self._queue:
+            self._schedule_attempt(first=False)
+        else:
+            self._busy = False

@@ -1,0 +1,46 @@
+"""Attribute-based naming: tuples, operators, matching rules, wire format.
+
+Implements Section 3.2 of the paper: data and interests are lists of
+attribute-value-operation tuples; matching is the two-way closure of the
+one-way algorithm in Figure 2, with comparison operators beyond equality.
+"""
+
+from repro.naming.attribute import (
+    Attribute,
+    AttributeValueError,
+    Operator,
+    ValueType,
+)
+from repro.naming.keys import (
+    Key,
+    KeyRegistry,
+    STANDARD_KEYS,
+    key_name,
+)
+from repro.naming.matching import (
+    MatchStats,
+    one_way_match,
+    one_way_match_segregated,
+    two_way_match,
+)
+from repro.naming.vector import AttributeVector
+from repro.naming.wire import decode_attributes, encode_attributes, encoded_size
+
+__all__ = [
+    "Attribute",
+    "AttributeValueError",
+    "Operator",
+    "ValueType",
+    "Key",
+    "KeyRegistry",
+    "STANDARD_KEYS",
+    "key_name",
+    "MatchStats",
+    "one_way_match",
+    "one_way_match_segregated",
+    "two_way_match",
+    "AttributeVector",
+    "encode_attributes",
+    "decode_attributes",
+    "encoded_size",
+]

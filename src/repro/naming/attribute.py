@@ -1,0 +1,220 @@
+"""Attribute-value-operation tuples (paper Section 3.2).
+
+An attribute is identified by a unique 32-bit key "drawn from a central
+authority" (see :mod:`repro.naming.keys`), carries a typed value, and an
+operation.  ``IS`` marks an *actual* (a bound literal); every other
+operator marks a *formal* (an unbound comparison that must be satisfied
+by an actual on the other side of the match).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import struct
+from typing import Any, Union
+
+
+class AttributeValueError(ValueError):
+    """Raised when a value does not fit the declared attribute type."""
+
+
+class Operator(enum.IntEnum):
+    """Match operations, paper Section 3.2.
+
+    ``IS`` specifies an actual (literal) value; the binary comparisons and
+    ``EQ_ANY`` specify formal parameters.  The numeric values follow the
+    SCADDS diffusion 3.x header ordering.
+    """
+
+    IS = 0
+    EQ = 1
+    NE = 2
+    GT = 3
+    GE = 4
+    LT = 5
+    LE = 6
+    EQ_ANY = 7
+
+    @property
+    def is_actual(self) -> bool:
+        return self is Operator.IS
+
+    @property
+    def is_formal(self) -> bool:
+        return self is not Operator.IS
+
+
+class ValueType(enum.IntEnum):
+    """Wire data formats supported by the implementation (Section 3.2)."""
+
+    INT32 = 0
+    FLOAT32 = 1
+    FLOAT64 = 2
+    STRING = 3
+    BLOB = 4
+
+    def validate(self, value: Any) -> Any:
+        """Normalize ``value`` to this type or raise AttributeValueError."""
+        if self is ValueType.INT32:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise AttributeValueError(f"INT32 requires int, got {value!r}")
+            if not (-(2**31) <= value < 2**31):
+                raise AttributeValueError(f"INT32 out of range: {value}")
+            return value
+        if self in (ValueType.FLOAT32, ValueType.FLOAT64):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise AttributeValueError(f"float type requires number, got {value!r}")
+            value = float(value)
+            if math.isnan(value):
+                raise AttributeValueError("NaN is not an orderable attribute value")
+            if self is ValueType.FLOAT32:
+                # Round-trip through single precision so comparisons on both
+                # sides of the radio see the same value.
+                value = struct.unpack("<f", struct.pack("<f", value))[0]
+            return value
+        if self is ValueType.STRING:
+            if not isinstance(value, str):
+                raise AttributeValueError(f"STRING requires str, got {value!r}")
+            return value
+        if self is ValueType.BLOB:
+            if not isinstance(value, (bytes, bytearray)):
+                raise AttributeValueError(f"BLOB requires bytes, got {value!r}")
+            return bytes(value)
+        raise AttributeValueError(f"unknown type {self}")  # pragma: no cover
+
+    def payload_size(self, value: Any) -> int:
+        """Bytes of payload this value occupies on the wire."""
+        if self is ValueType.INT32:
+            return 4
+        if self is ValueType.FLOAT32:
+            return 4
+        if self is ValueType.FLOAT64:
+            return 8
+        if self is ValueType.STRING:
+            return len(value.encode("utf-8"))
+        return len(value)
+
+
+Scalar = Union[int, float, str, bytes]
+
+_COMPARABLE = {
+    (ValueType.INT32, ValueType.INT32),
+    (ValueType.INT32, ValueType.FLOAT32),
+    (ValueType.INT32, ValueType.FLOAT64),
+    (ValueType.FLOAT32, ValueType.INT32),
+    (ValueType.FLOAT32, ValueType.FLOAT32),
+    (ValueType.FLOAT32, ValueType.FLOAT64),
+    (ValueType.FLOAT64, ValueType.INT32),
+    (ValueType.FLOAT64, ValueType.FLOAT32),
+    (ValueType.FLOAT64, ValueType.FLOAT64),
+    (ValueType.STRING, ValueType.STRING),
+    (ValueType.BLOB, ValueType.BLOB),
+}
+
+
+class Attribute:
+    """One ``(key, type, operator, value)`` tuple.
+
+    Instances are immutable and hashable so attribute vectors can be
+    hashed for the diffusion core's duplicate-suppression cache (the
+    paper notes hashes of attributes can stand in for full comparison).
+    """
+
+    __slots__ = ("key", "type", "op", "value", "_hash")
+
+    def __init__(self, key: int, type: ValueType, op: Operator, value: Scalar) -> None:
+        if not isinstance(key, int) or not (0 <= key < 2**32):
+            raise AttributeValueError(f"attribute key must be uint32, got {key!r}")
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "type", ValueType(type))
+        object.__setattr__(self, "op", Operator(op))
+        object.__setattr__(self, "value", self.type.validate(value))
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Attribute is immutable")
+
+    @property
+    def is_actual(self) -> bool:
+        return self.op.is_actual
+
+    @property
+    def is_formal(self) -> bool:
+        return self.op.is_formal
+
+    def compares_with(self, actual: "Attribute") -> bool:
+        """Apply this formal's operator to the other side's actual.
+
+        Mirrors ``a.val compares with b.val using a.op`` from Figure 2;
+        ``self`` supplies the operator and reference value, ``actual``
+        supplies the bound value being tested.
+        """
+        if not self.is_formal:
+            raise AttributeValueError("compares_with() requires a formal attribute")
+        if self.op is Operator.EQ_ANY:
+            return True
+        if (self.type, actual.type) not in _COMPARABLE:
+            return False
+        a, b = self.value, actual.value
+        if self.op is Operator.EQ:
+            return b == a
+        if self.op is Operator.NE:
+            return b != a
+        if self.op is Operator.GT:
+            return b > a
+        if self.op is Operator.GE:
+            return b >= a
+        if self.op is Operator.LT:
+            return b < a
+        if self.op is Operator.LE:
+            return b <= a
+        raise AttributeValueError(f"unknown operator {self.op}")  # pragma: no cover
+
+    def wire_size(self) -> int:
+        """Bytes on the wire: key(4) + type(1) + op(1) + len(2) + payload."""
+        return 8 + self.type.payload_size(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.type == other.type
+            and self.op == other.op
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        cached = object.__getattribute__(self, "_hash")
+        if cached is None:
+            cached = hash((self.key, self.type, self.op, self.value))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        from repro.naming.keys import key_name
+
+        return f"({key_name(self.key)} {self.op.name} {self.value!r})"
+
+    # -- constructor helpers ------------------------------------------------
+
+    @classmethod
+    def int32(cls, key: int, op: Operator, value: int) -> "Attribute":
+        return cls(key, ValueType.INT32, op, value)
+
+    @classmethod
+    def float32(cls, key: int, op: Operator, value: float) -> "Attribute":
+        return cls(key, ValueType.FLOAT32, op, value)
+
+    @classmethod
+    def float64(cls, key: int, op: Operator, value: float) -> "Attribute":
+        return cls(key, ValueType.FLOAT64, op, value)
+
+    @classmethod
+    def string(cls, key: int, op: Operator, value: str) -> "Attribute":
+        return cls(key, ValueType.STRING, op, value)
+
+    @classmethod
+    def blob(cls, key: int, op: Operator, value: bytes) -> "Attribute":
+        return cls(key, ValueType.BLOB, op, value)

@@ -1,0 +1,90 @@
+"""Attribute key registry.
+
+The paper assumes keys are "simple 32-bit numbers" assigned out-of-band
+by a central authority, like Internet protocol numbers.  This module is
+that authority: a registry of well-known keys plus room for
+application-defined ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator
+
+
+class Key(enum.IntEnum):
+    """Well-known attribute keys shared by all nodes at design time."""
+
+    # Core diffusion attributes.
+    CLASS = 1          # interest / data / ...
+    SCOPE = 2          # node-local / global
+    TASK = 3           # task name, e.g. "detectAnimal"
+    TYPE = 4           # sensor/data type tag
+    TARGET = 5         # e.g. "4-leg"
+    INSTANCE = 6       # e.g. "elephant"
+    # Geography (external frame of reference).
+    LATITUDE = 10
+    LONGITUDE = 11
+    X_COORD = 12
+    Y_COORD = 13
+    # Task parameters.
+    INTERVAL = 20      # desired data interval, milliseconds
+    DURATION = 21      # task lifetime, seconds
+    # Data annotations.
+    INTENSITY = 30
+    CONFIDENCE = 31
+    TIMESTAMP = 32
+    SEQUENCE = 33
+    PAYLOAD = 34
+    # Nested-query plumbing (Section 5.2).
+    TRIGGER_TYPE = 40
+    TRIGGER_STATE = 41
+
+    FIRST_USER_KEY = 1000
+
+
+class ClassValue(enum.IntEnum):
+    """Values of the implicit CLASS attribute ("class IS interest")."""
+
+    INTEREST = 1
+    DATA = 2
+    EXPLORATORY = 3       # exploratory data (low-rate, flooded)
+    REINFORCEMENT = 4     # positive reinforcement
+    NEGATIVE_REINFORCEMENT = 5
+    CONTROL = 6
+
+
+class KeyRegistry:
+    """Assigns and resolves attribute keys.
+
+    Well-known :class:`Key` members are pre-registered; applications call
+    :meth:`register` to claim keys at or above ``Key.FIRST_USER_KEY``.
+    """
+
+    def __init__(self) -> None:
+        self._names: Dict[int, str] = {int(k): k.name.lower() for k in Key}
+        self._next_user_key = int(Key.FIRST_USER_KEY)
+
+    def register(self, name: str) -> int:
+        """Allocate a fresh user key for ``name`` and return it."""
+        key = self._next_user_key
+        self._next_user_key += 1
+        self._names[key] = name
+        return key
+
+    def name(self, key: int) -> str:
+        return self._names.get(key, f"key{key}")
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._names
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._names)
+
+
+STANDARD_KEYS = KeyRegistry()
+
+
+def key_name(key: int) -> str:
+    """Human-readable name for a key, for reprs and traces."""
+    return STANDARD_KEYS.name(key)

@@ -1,0 +1,111 @@
+"""Wire encoding of attribute lists.
+
+Diffusion messages cross a 13 kb/s radio in 27-byte fragments, so every
+byte matters; this codec defines the byte-exact format the traffic
+accounting in the Figure 8 experiment charges for.
+
+Layout per attribute (little-endian):
+
+    key:   uint32
+    type:  uint8   (ValueType)
+    op:    uint8   (Operator)
+    len:   uint16  payload length in bytes
+    payload: len bytes
+
+A list is a uint16 count followed by that many attributes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.naming.attribute import Attribute, AttributeValueError, Operator, ValueType
+
+_HEADER = struct.Struct("<IBBH")
+_COUNT = struct.Struct("<H")
+
+
+class WireFormatError(ValueError):
+    """Raised on malformed attribute encodings."""
+
+
+def _encode_payload(attr: Attribute) -> bytes:
+    if attr.type is ValueType.INT32:
+        return struct.pack("<i", attr.value)
+    if attr.type is ValueType.FLOAT32:
+        return struct.pack("<f", attr.value)
+    if attr.type is ValueType.FLOAT64:
+        return struct.pack("<d", attr.value)
+    if attr.type is ValueType.STRING:
+        return attr.value.encode("utf-8")
+    return attr.value  # BLOB
+
+
+def _decode_payload(vtype: ValueType, payload: bytes):
+    if vtype is ValueType.INT32:
+        if len(payload) != 4:
+            raise WireFormatError("INT32 payload must be 4 bytes")
+        return struct.unpack("<i", payload)[0]
+    if vtype is ValueType.FLOAT32:
+        if len(payload) != 4:
+            raise WireFormatError("FLOAT32 payload must be 4 bytes")
+        return struct.unpack("<f", payload)[0]
+    if vtype is ValueType.FLOAT64:
+        if len(payload) != 8:
+            raise WireFormatError("FLOAT64 payload must be 8 bytes")
+        return struct.unpack("<d", payload)[0]
+    if vtype is ValueType.STRING:
+        try:
+            return payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"invalid UTF-8 string payload: {exc}") from exc
+    return payload
+
+
+def encode_attributes(attrs: Sequence[Attribute]) -> bytes:
+    """Serialize an attribute list to its wire representation."""
+    if len(attrs) >= 2**16:
+        raise WireFormatError("too many attributes for uint16 count")
+    chunks: List[bytes] = [_COUNT.pack(len(attrs))]
+    for attr in attrs:
+        payload = _encode_payload(attr)
+        if len(payload) >= 2**16:
+            raise WireFormatError("attribute payload too large")
+        chunks.append(_HEADER.pack(attr.key, int(attr.type), int(attr.op), len(payload)))
+        chunks.append(payload)
+    return b"".join(chunks)
+
+
+def decode_attributes(data: bytes) -> Tuple[List[Attribute], int]:
+    """Parse an attribute list; returns (attributes, bytes consumed)."""
+    if len(data) < _COUNT.size:
+        raise WireFormatError("truncated attribute list count")
+    (count,) = _COUNT.unpack_from(data, 0)
+    offset = _COUNT.size
+    attrs: List[Attribute] = []
+    for _ in range(count):
+        if len(data) < offset + _HEADER.size:
+            raise WireFormatError("truncated attribute header")
+        key, vtype_raw, op_raw, length = _HEADER.unpack_from(data, offset)
+        offset += _HEADER.size
+        if len(data) < offset + length:
+            raise WireFormatError("truncated attribute payload")
+        try:
+            vtype = ValueType(vtype_raw)
+            op = Operator(op_raw)
+        except ValueError as exc:
+            raise WireFormatError(str(exc)) from exc
+        payload = data[offset : offset + length]
+        offset += length
+        try:
+            attrs.append(Attribute(key, vtype, op, _decode_payload(vtype, payload)))
+        except AttributeValueError as exc:
+            # e.g. a float payload decoding to NaN: reject the message.
+            raise WireFormatError(str(exc)) from exc
+    return attrs, offset
+
+
+def encoded_size(attrs: Iterable[Attribute]) -> int:
+    """Encoded size without building the bytes (count + per-attr sizes)."""
+    return _COUNT.size + sum(attr.wire_size() for attr in attrs)

@@ -1,0 +1,29 @@
+"""Declarative queries over diffusion (paper Section 5.3).
+
+"Researchers at Cornell have used our system to provide communication
+between an end-user database ... and query proxies in each sensor node.
+This application used attributes to identify sensors running query
+proxies and to pass query byte-codes to the proxies."
+
+This package provides the user-facing half of that stack: a small
+SQL-ish query language compiled to attribute-based interests, and a
+query proxy that submits them over the Figure 4 API::
+
+    SELECT audio WHERE x BETWEEN 0 AND 50 AND confidence > 0.5
+        EVERY 2s FOR 10m
+
+becomes an interest with ``type EQ audio``, geographic and confidence
+formals, and interval/duration actuals.
+"""
+
+from repro.query.language import ParsedQuery, QuerySyntaxError, parse_query
+from repro.query.proxy import QueryHandle, QueryProxy, QueryResult
+
+__all__ = [
+    "ParsedQuery",
+    "QuerySyntaxError",
+    "parse_query",
+    "QueryHandle",
+    "QueryProxy",
+    "QueryResult",
+]

@@ -1,0 +1,241 @@
+"""The query language: SELECT-over-attributes.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT type [WHERE condition (AND condition)*]
+                  [EVERY duration] [FOR duration]
+    condition  := field op value
+                | field BETWEEN value AND value
+    op         := = | != | < | <= | > | >=
+    field      := x | y | latitude | longitude | confidence
+                | intensity | instance | target
+    value      := number | 'string' | "string"
+    duration   := number (ms | s | m)
+
+Everything compiles to the attribute algebra: comparisons become
+formals with the matching operator, BETWEEN becomes a GE/LE pair
+(the paper's "rectangular regions" idiom), EVERY/FOR become the
+INTERVAL/DURATION actuals of Section 3.2's worked example.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.naming import AttributeVector, Operator
+from repro.naming.keys import Key
+
+
+class QuerySyntaxError(ValueError):
+    """Raised on malformed query text."""
+
+
+FIELD_KEYS = {
+    "x": Key.X_COORD,
+    "y": Key.Y_COORD,
+    "latitude": Key.LATITUDE,
+    "longitude": Key.LONGITUDE,
+    "confidence": Key.CONFIDENCE,
+    "intensity": Key.INTENSITY,
+    "instance": Key.INSTANCE,
+    "target": Key.TARGET,
+}
+
+_OPERATORS = {
+    "=": Operator.EQ,
+    "!=": Operator.NE,
+    "<": Operator.LT,
+    "<=": Operator.LE,
+    ">": Operator.GT,
+    ">=": Operator.GE,
+}
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        '(?:[^'\\]|\\.)*'          # single-quoted string
+      | "(?:[^"\\]|\\.)*"          # double-quoted string
+      | [A-Za-z_][A-Za-z0-9_-]*    # identifier / keyword
+      | -?\d+\.\d+                 # float
+      | -?\d+                      # int
+      | <= | >= | != | [=<>]       # operators
+    )
+    """,
+    re.VERBOSE,
+)
+
+_DURATION = re.compile(r"^(-?\d+(?:\.\d+)?)(ms|s|m)$", re.IGNORECASE)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QuerySyntaxError(f"cannot tokenize near {remainder[:20]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+@dataclass
+class Condition:
+    """One WHERE clause condition."""
+
+    field_name: str
+    op: Operator
+    value: Union[int, float, str]
+
+
+@dataclass
+class ParsedQuery:
+    """The structured form of a query string."""
+
+    select_type: str
+    conditions: List[Condition] = field(default_factory=list)
+    every_ms: Optional[int] = None
+    for_seconds: Optional[int] = None
+
+    def to_interest(self) -> AttributeVector:
+        """Compile to a diffusion interest (subscription attributes)."""
+        builder = AttributeVector.builder().eq(Key.TYPE, self.select_type)
+        for condition in self.conditions:
+            key = FIELD_KEYS[condition.field_name]
+            value = condition.value
+            if isinstance(value, int) and key not in (Key.INSTANCE, Key.TARGET):
+                value = float(value)
+            builder.add(key, condition.op, value)
+        if self.every_ms is not None:
+            builder.actual(Key.INTERVAL, self.every_ms)
+        if self.for_seconds is not None:
+            builder.actual(Key.DURATION, self.for_seconds)
+        return builder.build()
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self._pending_between: Optional[Condition] = None
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.next()
+        if token.lower() != keyword.lower():
+            raise QuerySyntaxError(f"expected {keyword!r}, got {token!r}")
+
+    def at_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return token is not None and token.lower() == keyword.lower()
+
+    # -- productions -------------------------------------------------------
+
+    def parse_query(self) -> ParsedQuery:
+        self.expect_keyword("select")
+        select_type = self.next()
+        if select_type.lower() in ("where", "every", "for"):
+            raise QuerySyntaxError("SELECT requires a data type name")
+        query = ParsedQuery(select_type=_unquote(select_type))
+        if self.at_keyword("where"):
+            self.next()
+            while True:
+                self._pending_between = None
+                query.conditions.append(self.parse_condition())
+                if self._pending_between is not None:
+                    # BETWEEN compiled to a GE/LE formal pair.
+                    query.conditions.append(self._pending_between)
+                if self.at_keyword("and"):
+                    self.next()
+                    continue
+                break
+        if self.at_keyword("every"):
+            self.next()
+            query.every_ms = round(self.parse_duration() * 1000)
+        if self.at_keyword("for"):
+            self.next()
+            query.for_seconds = round(self.parse_duration())
+        if self.peek() is not None:
+            raise QuerySyntaxError(f"trailing tokens from {self.peek()!r}")
+        return query
+
+    def parse_condition(self) -> Condition:
+        field_name = self.next().lower()
+        if field_name not in FIELD_KEYS:
+            raise QuerySyntaxError(
+                f"unknown field {field_name!r}; one of {sorted(FIELD_KEYS)}"
+            )
+        token = self.next()
+        if token.lower() == "between":
+            low = self.parse_value()
+            self.expect_keyword("and")
+            high = self.parse_value()
+            if not isinstance(low, (int, float)) or not isinstance(high, (int, float)):
+                raise QuerySyntaxError("BETWEEN requires numeric bounds")
+            if low > high:
+                raise QuerySyntaxError("BETWEEN bounds out of order")
+            # A closed interval is a GE/LE formal pair; the caller folds
+            # this into two conditions.
+            self._pending_between = Condition(field_name, Operator.LE, high)
+            return Condition(field_name, Operator.GE, low)
+        if token not in _OPERATORS:
+            raise QuerySyntaxError(f"unknown operator {token!r}")
+        return Condition(field_name, _OPERATORS[token], self.parse_value())
+
+    def parse_value(self) -> Union[int, float, str]:
+        token = self.next()
+        if token.startswith(("'", '"')):
+            return _unquote(token)
+        try:
+            if "." in token:
+                return float(token)
+            return int(token)
+        except ValueError:
+            # bare identifiers act as strings (SELECT audio WHERE target = lion)
+            return token
+
+    def parse_duration(self) -> float:
+        token = self.next()
+        match = _DURATION.match(token)
+        if match is None:
+            # Allow "2 s" as two tokens.
+            unit = self.peek()
+            if unit is not None and unit.lower() in ("ms", "s", "m"):
+                self.next()
+                match = _DURATION.match(token + unit)
+        if match is None:
+            raise QuerySyntaxError(f"bad duration {token!r} (use ms/s/m)")
+        value = float(match.group(1))
+        if value <= 0:
+            raise QuerySyntaxError("durations must be positive")
+        unit = match.group(2).lower()
+        scale = {"ms": 0.001, "s": 1.0, "m": 60.0}[unit]
+        return value * scale
+
+
+def _unquote(token: str) -> str:
+    if token.startswith(("'", '"')) and token.endswith(token[0]) and len(token) >= 2:
+        body = token[1:-1]
+        return body.replace("\\" + token[0], token[0]).replace("\\\\", "\\")
+    return token
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse query text; raises :class:`QuerySyntaxError` on bad input."""
+    return _Parser(_tokenize(text)).parse_query()

@@ -1,0 +1,196 @@
+"""The shared wireless medium.
+
+A fragment transmitted by one modem is audible at every node whose link
+PRR from the sender is non-zero.  Reception fails when:
+
+* the receiver was itself transmitting (half-duplex),
+* another audible transmission overlapped in time (collision — this is
+  how hidden terminals corrupt traffic: carrier sense happens at the
+  *sender*, collisions happen at the *receiver*), or
+* the per-link loss draw exceeded the link PRR.
+
+The channel also answers carrier-sense queries for the MAC layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.sim import Simulator, TraceBus
+from repro.sim.rng import SeedSequence
+
+
+@dataclass
+class Transmission:
+    """One in-flight fragment."""
+
+    src: int
+    start: float
+    end: float
+    payload: Any
+    nbytes: int
+    link_dst: Optional[int]  # None for link-broadcast
+    seqno: int
+
+
+@dataclass
+class _Reception:
+    transmission: Transmission
+    prr: float
+    corrupted: bool = False
+
+
+class Channel:
+    """Connects modems through a propagation model.
+
+    Modems register with :meth:`attach`; they call
+    :meth:`start_transmission` when the MAC begins sending, and receive
+    ``deliver(payload, src, nbytes, link_dst)`` callbacks when a
+    fragment arrives intact.
+    """
+
+    CARRIER_SENSE_THRESHOLD = 0.05  # audible-enough PRR to count as busy
+
+    #: capture effect: a reception this strong survives overlap with
+    #: interferers weaker than CAPTURE_WEAK (the stronger signal wins,
+    #: as on real narrowband FM radios).  Comparable signals still
+    #: destroy each other.
+    CAPTURE_STRONG = 0.75
+    CAPTURE_WEAK = 0.25
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation,
+        seeds: Optional[SeedSequence] = None,
+        trace: Optional[TraceBus] = None,
+        capture_effect: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.propagation = propagation
+        self.capture_effect = capture_effect
+        self.trace = trace or TraceBus()
+        self._loss_rng = (seeds or SeedSequence(1)).stream("channel-loss")
+        self._modems: Dict[int, Any] = {}
+        # Per-receiver set of in-progress receptions, for collision marking.
+        self._receiving: Dict[int, List[_Reception]] = {}
+        self._seqno = 0
+        # Statistics.
+        self.fragments_sent = 0
+        self.fragments_delivered = 0
+        self.fragments_collided = 0
+        self.fragments_lost = 0
+
+    def attach(self, modem: Any) -> None:
+        if modem.node_id in self._modems:
+            raise ValueError(f"modem {modem.node_id} already attached")
+        self._modems[modem.node_id] = modem
+
+    def node_ids(self) -> List[int]:
+        return sorted(self._modems)
+
+    # -- carrier sense ------------------------------------------------------
+
+    def carrier_busy(self, node_id: int) -> bool:
+        """Is any transmission audible at ``node_id`` right now?"""
+        now = self.sim.now
+        for modem in self._modems.values():
+            if modem.node_id == node_id or not modem.transmitting:
+                continue
+            prr = self.propagation.link_prr(modem.node_id, node_id, now)
+            if prr >= self.CARRIER_SENSE_THRESHOLD:
+                return True
+        return False
+
+    # -- transmission -------------------------------------------------------
+
+    def start_transmission(
+        self,
+        src: int,
+        payload: Any,
+        nbytes: int,
+        duration: float,
+        link_dst: Optional[int] = None,
+    ) -> Transmission:
+        """Begin a fragment transmission from ``src``.
+
+        The caller (modem) is responsible for keeping its
+        ``transmitting`` flag true for the duration.
+        """
+        now = self.sim.now
+        self._seqno += 1
+        tx = Transmission(
+            src=src,
+            start=now,
+            end=now + duration,
+            payload=payload,
+            nbytes=nbytes,
+            link_dst=link_dst,
+            seqno=self._seqno,
+        )
+        self.fragments_sent += 1
+        self.trace.emit(now, "channel.tx", node=src, nbytes=nbytes, dst=link_dst)
+
+        for node_id, modem in self._modems.items():
+            if node_id == src:
+                continue
+            prr = self.propagation.link_prr(src, node_id, now)
+            if prr <= 0.0:
+                continue
+            reception = _Reception(transmission=tx, prr=prr)
+            in_progress = self._receiving.setdefault(node_id, [])
+            if modem.transmitting or getattr(modem, "sleeping", False):
+                # Half-duplex, and sleeping radios hear nothing.
+                reception.corrupted = True
+            if in_progress:
+                # Overlap: the stronger signal may capture the receiver;
+                # comparable signals corrupt each other.
+                for other in in_progress:
+                    survives = self.capture_effect and (
+                        other.prr >= self.CAPTURE_STRONG
+                        and reception.prr <= self.CAPTURE_WEAK
+                    )
+                    if not survives and not other.corrupted:
+                        other.corrupted = True
+                        self.fragments_collided += 1
+                captured_over_all = self.capture_effect and all(
+                    reception.prr >= self.CAPTURE_STRONG
+                    and other.prr <= self.CAPTURE_WEAK
+                    for other in in_progress
+                )
+                if not captured_over_all and not reception.corrupted:
+                    reception.corrupted = True
+                    self.fragments_collided += 1
+            in_progress.append(reception)
+            self.sim.schedule(
+                duration, self._finish_reception, node_id, reception,
+                name="channel.rx",
+            )
+        return tx
+
+    def _finish_reception(self, node_id: int, reception: _Reception) -> None:
+        in_progress = self._receiving.get(node_id, [])
+        if reception in in_progress:
+            in_progress.remove(reception)
+        modem = self._modems.get(node_id)
+        if modem is None:
+            return
+        tx = reception.transmission
+        if reception.corrupted:
+            self.trace.emit(
+                self.sim.now, "channel.collision", node=node_id, src=tx.src
+            )
+            return
+        if modem.transmitting or getattr(modem, "sleeping", False):
+            # Started transmitting (or fell asleep) mid-reception: lost.
+            return
+        if self._loss_rng.random() >= reception.prr:
+            self.fragments_lost += 1
+            self.trace.emit(self.sim.now, "channel.loss", node=node_id, src=tx.src)
+            return
+        self.fragments_delivered += 1
+        self.trace.emit(
+            self.sim.now, "channel.rx", node=node_id, src=tx.src, nbytes=tx.nbytes
+        )
+        modem.deliver(tx.payload, tx.src, tx.nbytes, tx.link_dst)

@@ -1,0 +1,145 @@
+"""Network dynamics: mobility and scheduled failures.
+
+The paper motivates diffusion's soft state with "changing
+communications, moving nodes, and limited battery power" and notes that
+periodic exploratory messages "adjust gradients in the case of network
+changes (due to node failure, energy depletion, or mobility)".  This
+module provides the dynamics that exercise those repair paths:
+
+* :class:`RandomWaypointMobility` moves a node between waypoints inside
+  a rectangle; propagation models read positions per transmission, so
+  link quality changes continuously as the node moves;
+* :class:`FailureSchedule` kills (and optionally resurrects) nodes at
+  chosen times on a :class:`~repro.testbed.network.SensorNetwork`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.radio.topology import Topology
+from repro.sim import Simulator
+
+
+class RandomWaypointMobility:
+    """Classic random-waypoint movement for one node.
+
+    The node picks a uniform random waypoint in the bounding box, walks
+    toward it at ``speed`` m/s (position updated every ``step``
+    seconds), optionally pauses, then picks the next waypoint.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        node_id: int,
+        bounds: Tuple[float, float, float, float],
+        speed: float = 1.0,
+        pause: float = 0.0,
+        step: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        xmin, xmax, ymin, ymax = bounds
+        if xmax <= xmin or ymax <= ymin:
+            raise ValueError("bounds must describe a non-empty rectangle")
+        if speed <= 0 or step <= 0:
+            raise ValueError("speed and step must be positive")
+        self.sim = sim
+        self.topology = topology
+        self.node_id = node_id
+        self.bounds = bounds
+        self.speed = speed
+        self.pause = pause
+        self.step = step
+        self.rng = rng or random.Random(node_id)
+        self.waypoints_visited = 0
+        self.distance_travelled = 0.0
+        self._target: Optional[Tuple[float, float]] = None
+        self._timer = sim.schedule(0.0, self._tick, name="mobility.tick")
+        self._running = True
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+
+    def _pick_waypoint(self) -> Tuple[float, float]:
+        xmin, xmax, ymin, ymax = self.bounds
+        return (self.rng.uniform(xmin, xmax), self.rng.uniform(ymin, ymax))
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        position = self.topology.position(self.node_id)
+        if self._target is None:
+            self._target = self._pick_waypoint()
+        tx, ty = self._target
+        dx, dy = tx - position.x, ty - position.y
+        distance = math.hypot(dx, dy)
+        reach = self.speed * self.step
+        if distance <= reach:
+            self.topology.move_node(self.node_id, tx, ty)
+            self.distance_travelled += distance
+            self.waypoints_visited += 1
+            self._target = None
+            delay = self.step + self.pause
+        else:
+            scale = reach / distance
+            self.topology.move_node(
+                self.node_id, position.x + dx * scale, position.y + dy * scale
+            )
+            self.distance_travelled += reach
+            delay = self.step
+        self._timer = self.sim.schedule(delay, self._tick, name="mobility.tick")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled failure (and optional recovery)."""
+
+    node_id: int
+    fail_at: float
+    recover_at: Optional[float] = None
+
+
+class FailureSchedule:
+    """Applies failure events to a SensorNetwork.
+
+    Failure mutes the node's radio and timers via
+    :meth:`SensorNetwork.fail_node`; recovery is modelled as the node's
+    radio starting to hear again (its diffusion timers are not
+    restarted — soft state re-forms from incoming interests, which is
+    exactly the recovery story the paper tells).
+    """
+
+    def __init__(self, network, events: List[FailureEvent]) -> None:
+        self.network = network
+        self.events = list(events)
+        self.failures_applied = 0
+        self.recoveries_applied = 0
+        for event in self.events:
+            network.sim.schedule_at(
+                event.fail_at, self._fail, event.node_id, name="failure"
+            )
+            if event.recover_at is not None:
+                if event.recover_at <= event.fail_at:
+                    raise ValueError("recovery must come after failure")
+                network.sim.schedule_at(
+                    event.recover_at, self._recover, event.node_id,
+                    name="recovery",
+                )
+
+    def _fail(self, node_id: int) -> None:
+        self.network.fail_node(node_id)
+        self.failures_applied += 1
+
+    def _recover(self, node_id: int) -> None:
+        stack = self.network.stack(node_id)
+        # Reattach the radio receive path and the MAC's queue.
+        stack.modem.receive_callback = stack.frag._on_modem_fragment
+        stack.mac.enqueue = type(stack.mac).enqueue.__get__(stack.mac)
+        self.recoveries_applied += 1

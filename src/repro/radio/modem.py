@@ -1,0 +1,122 @@
+"""Radiometrix-RPC-style packet modem.
+
+Paper Section 6.1: "off-the-shelf, 418 MHz, packet-based radios that
+provide about 13kb/s throughput", with messages "broken into several
+27-byte fragments".  The modem owns the physical-layer timing (preamble
+plus payload at the bit rate) and the half-duplex transmitting flag the
+channel consults for collisions and carrier sensing.
+
+The modem transmits one fragment at a time; queueing, carrier sensing
+and backoff belong to the MAC (:mod:`repro.mac`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.sim import Simulator
+
+BROADCAST_ADDRESS: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RadioParams:
+    """Physical-layer constants."""
+
+    bitrate_bps: float = 13_000.0      # ~13 kb/s RPC throughput
+    fragment_payload: int = 27         # bytes of payload per fragment
+    fragment_overhead: int = 5         # preamble/sync/len/crc per fragment
+    turnaround_s: float = 0.001        # rx->tx switch time
+
+    def fragment_airtime(self, payload_bytes: int) -> float:
+        """Seconds on air for one fragment carrying ``payload_bytes``."""
+        if payload_bytes > self.fragment_payload:
+            raise ValueError(
+                f"fragment payload {payload_bytes} exceeds radio maximum "
+                f"{self.fragment_payload}"
+            )
+        total = payload_bytes + self.fragment_overhead
+        return (total * 8) / self.bitrate_bps
+
+
+class Modem:
+    """One node's radio.  Half duplex; one fragment in flight at a time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel,
+        node_id: int,
+        params: Optional[RadioParams] = None,
+        energy=None,
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.node_id = node_id
+        self.params = params or RadioParams()
+        self.energy = energy
+        self.transmitting = False
+        self.sleeping = False  # duty-cycled MACs park the radio here
+        self.receive_callback: Optional[Callable[[Any, int, int, Optional[int]], None]] = None
+        self._tx_done_callback: Optional[Callable[[], None]] = None
+        self.bytes_sent = 0
+        self.fragments_sent = 0
+        self.bytes_received = 0
+        self.fragments_received = 0
+        channel.attach(self)
+
+    # -- transmit -------------------------------------------------------------
+
+    def transmit_fragment(
+        self,
+        payload: Any,
+        payload_bytes: int,
+        link_dst: Optional[int] = BROADCAST_ADDRESS,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Put one fragment on the air; returns its airtime in seconds.
+
+        Raises RuntimeError if already transmitting — the MAC must
+        serialize its own fragments.
+        """
+        if self.transmitting:
+            raise RuntimeError(f"modem {self.node_id} is already transmitting")
+        if self.sleeping:
+            raise RuntimeError(f"modem {self.node_id} is asleep")
+        airtime = self.params.fragment_airtime(payload_bytes)
+        self.transmitting = True
+        self._tx_done_callback = on_done
+        self.bytes_sent += payload_bytes + self.params.fragment_overhead
+        self.fragments_sent += 1
+        if self.energy is not None:
+            self.energy.record_send(airtime)
+        self.channel.start_transmission(
+            self.node_id, payload, payload_bytes, airtime, link_dst
+        )
+        self.sim.schedule(airtime, self._transmit_done, name="modem.txdone")
+        return airtime
+
+    def _transmit_done(self) -> None:
+        self.transmitting = False
+        callback = self._tx_done_callback
+        self._tx_done_callback = None
+        if callback is not None:
+            callback()
+
+    # -- receive ----------------------------------------------------------------
+
+    def deliver(self, payload: Any, src: int, nbytes: int, link_dst: Optional[int]) -> None:
+        """Called by the channel when a fragment arrives intact."""
+        self.fragments_received += 1
+        self.bytes_received += nbytes
+        if self.energy is not None:
+            self.energy.record_receive(self.params.fragment_airtime(nbytes))
+        # Link-layer address filter: accept broadcast or our own address.
+        if link_dst is not None and link_dst != self.node_id:
+            return
+        if self.receive_callback is not None:
+            self.receive_callback(payload, src, nbytes, link_dst)
+
+    def carrier_busy(self) -> bool:
+        return self.channel.carrier_busy(self.node_id)

@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel used by every networked substrate.
+
+The paper's testbed ran on real PC/104 hardware; we substitute a
+deterministic event-driven simulator (see DESIGN.md section 2).  The kernel
+is deliberately small: a priority queue of timestamped events, cancellable
+timers, and a trace bus for experiment instrumentation.
+"""
+
+from repro.sim.kernel import Event, Simulator, SimulationError
+from repro.sim.rng import SeedSequence, make_rng
+from repro.sim.trace import TraceBus, TraceRecord
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "SeedSequence",
+    "make_rng",
+    "TraceBus",
+    "TraceRecord",
+]

@@ -1,0 +1,69 @@
+"""Per-node clocks with offset, drift, and read jitter.
+
+The simulator's ``now`` is true time; real sensor nodes do not have it.
+Paper footnote 2: timestamps "require synchronization ... We use
+sequence numbers because at the time of this experiment we had not
+synchronized our clocks", and Section 7 lists "accurately synchronize
+node clocks" among the missing tools.  :class:`NodeClock` provides the
+problem (skewed local time) and :mod:`repro.apps.timesync` the
+solution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class NodeClock:
+    """A local clock: ``local = true * (1 + drift) + offset`` + jitter.
+
+    ``drift_ppm`` is parts-per-million frequency error (crystal spec);
+    ``read_jitter`` models timestamping noise (interrupt latency), drawn
+    fresh per read.
+    """
+
+    def __init__(
+        self,
+        offset: float = 0.0,
+        drift_ppm: float = 0.0,
+        read_jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if read_jitter < 0:
+            raise ValueError("read_jitter must be non-negative")
+        self.offset = offset
+        self.drift_ppm = drift_ppm
+        self.read_jitter = read_jitter
+        self.rng = rng or random.Random(0)
+        self.adjustments = 0
+
+    @property
+    def _rate(self) -> float:
+        return 1.0 + self.drift_ppm * 1e-6
+
+    def local_time(self, true_time: float) -> float:
+        """Read the clock at true time (with read jitter)."""
+        jitter = (
+            self.rng.gauss(0.0, self.read_jitter) if self.read_jitter else 0.0
+        )
+        return true_time * self._rate + self.offset + jitter
+
+    def exact_local_time(self, true_time: float) -> float:
+        """Jitter-free reading, for assertions and error accounting."""
+        return true_time * self._rate + self.offset
+
+    def true_time(self, local_time: float) -> float:
+        """Invert a (jitter-free) local reading."""
+        return (local_time - self.offset) / self._rate
+
+    def adjust(self, delta: float) -> None:
+        """Step the clock by ``delta`` seconds (sync correction)."""
+        self.offset += delta
+        self.adjustments += 1
+
+    def error_vs(self, other: "NodeClock", true_time: float) -> float:
+        """Instantaneous disagreement with another clock, in seconds."""
+        return abs(
+            self.exact_local_time(true_time) - other.exact_local_time(true_time)
+        )

@@ -1,0 +1,161 @@
+"""Event loop: a heap of timestamped callbacks with stable ordering.
+
+Determinism matters for reproducing the paper's experiments, so ties in
+time are broken by a monotonically increasing sequence number: two events
+scheduled for the same instant fire in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling into the past, etc.)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and may be cancelled.
+    A cancelled event stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.name = name
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        label = self.name or getattr(self.callback, "__name__", "?")
+        return f"<Event t={self.time:.6f} {label} {state}>"
+
+
+class Simulator:
+    """A discrete-event simulator with cancellable timers.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, node.wake)
+        sim.run(until=3600.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, next(self._seq), callback, args, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        event = Event(time, next(self._seq), callback, args, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event returns."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of uncancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Run a single event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = event.time
+            self.events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in order until the queue empties or limits hit.
+
+        ``until`` is an inclusive horizon: events at exactly ``until`` run.
+        When the horizon is reached the clock is advanced to it, so that
+        periodic statistics normalized by elapsed time are exact.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while not self._stopped:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            if until is not None and self.now < until and not self._stopped:
+                self.now = until
+        finally:
+            self._running = False

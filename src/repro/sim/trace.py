@@ -1,0 +1,69 @@
+"""Trace bus: publish/subscribe instrumentation for experiments.
+
+The paper's testbed used a separate wired network to collect experiment
+data (Section 7).  The trace bus plays that role here: components emit
+typed records, experiment harnesses subscribe to the categories they
+need, and nothing is retained unless someone asked for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One instrumentation sample."""
+
+    time: float
+    category: str
+    node: Optional[int]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceBus:
+    """Routes :class:`TraceRecord` to per-category listeners.
+
+    Listeners registered for category ``"*"`` receive every record.
+    """
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+
+    def subscribe(self, category: str, listener: Callable[[TraceRecord], None]) -> None:
+        self._listeners.setdefault(category, []).append(listener)
+
+    def unsubscribe(self, category: str, listener: Callable[[TraceRecord], None]) -> None:
+        listeners = self._listeners.get(category, [])
+        if listener in listeners:
+            listeners.remove(listener)
+
+    def emit(
+        self,
+        time: float,
+        category: str,
+        node: Optional[int] = None,
+        **data: Any,
+    ) -> None:
+        """Create and dispatch a record; cheap when nobody listens."""
+        listeners = self._listeners.get(category)
+        wildcard = self._listeners.get("*")
+        if not listeners and not wildcard:
+            return
+        record = TraceRecord(time=time, category=category, node=node, data=data)
+        for listener in listeners or ():
+            listener(record)
+        for listener in wildcard or ():
+            listener(record)
+
+
+class TraceCollector:
+    """Convenience listener that accumulates records in a list."""
+
+    def __init__(self, bus: TraceBus, category: str = "*") -> None:
+        self.records: List[TraceRecord] = []
+        bus.subscribe(category, self.records.append)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]

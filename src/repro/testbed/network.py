@@ -1,0 +1,220 @@
+"""Network builders.
+
+:class:`IdealNetwork` delivers messages between explicitly connected
+nodes with a fixed hop delay and optional loss — no MAC, no collisions.
+It isolates protocol logic for unit tests and analytical experiments.
+
+:class:`SensorNetwork` assembles the full stack the testbed ran:
+channel → modem → CSMA MAC → fragmentation → diffusion core, one per
+node, plus energy ledgers and a shared trace bus.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting
+from repro.energy import NetworkEnergyAccount
+from repro.link import FragmentationLayer
+from repro.mac import CsmaMac
+from repro.radio import (
+    Channel,
+    DistancePropagation,
+    Modem,
+    RadioParams,
+    Topology,
+)
+from repro.sim import SeedSequence, Simulator, TraceBus
+
+
+class IdealTransport:
+    """One node's attachment to an :class:`IdealNetwork`."""
+
+    def __init__(self, network: "IdealNetwork", node_id: int) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.deliver_callback = None
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def send_message(self, message, nbytes: int, link_dst: Optional[int] = None) -> None:
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        self.network._dispatch(self.node_id, message, nbytes, link_dst)
+
+
+class IdealNetwork:
+    """Lossless-by-default graph network with per-hop latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float = 0.01,
+        loss: float = 0.0,
+        seed: int = 1,
+    ) -> None:
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be within [0, 1)")
+        self.sim = sim
+        self.delay = delay
+        self.loss = loss
+        self._rng = random.Random(seed)
+        self._transports: Dict[int, IdealTransport] = {}
+        self._links: Set[Tuple[int, int]] = set()
+
+    def add_node(self, node_id: int) -> IdealTransport:
+        if node_id in self._transports:
+            raise ValueError(f"node {node_id} already exists")
+        transport = IdealTransport(self, node_id)
+        self._transports[node_id] = transport
+        return transport
+
+    def connect(self, a: int, b: int, symmetric: bool = True) -> None:
+        self._links.add((a, b))
+        if symmetric:
+            self._links.add((b, a))
+
+    def disconnect(self, a: int, b: int, symmetric: bool = True) -> None:
+        self._links.discard((a, b))
+        if symmetric:
+            self._links.discard((b, a))
+
+    def neighbors_of(self, node_id: int) -> List[int]:
+        return sorted(dst for src, dst in self._links if src == node_id)
+
+    def _dispatch(self, src: int, message, nbytes: int, link_dst: Optional[int]) -> None:
+        if link_dst is None:
+            targets = self.neighbors_of(src)
+        else:
+            targets = [link_dst] if (src, link_dst) in self._links else []
+        for dst in targets:
+            if self.loss and self._rng.random() < self.loss:
+                continue
+            transport = self._transports.get(dst)
+            if transport is None:
+                continue
+            self.sim.schedule(
+                self.delay, self._deliver, transport, message, src, nbytes,
+                name="ideal.deliver",
+            )
+
+    @staticmethod
+    def _deliver(transport: IdealTransport, message, src: int, nbytes: int) -> None:
+        if transport.deliver_callback is not None:
+            transport.deliver_callback(message, src, nbytes)
+
+
+class NodeStack:
+    """All layers of one node in a :class:`SensorNetwork`."""
+
+    def __init__(self, node_id, modem, mac, frag, diffusion, api, energy):
+        self.node_id = node_id
+        self.modem = modem
+        self.mac = mac
+        self.frag = frag
+        self.diffusion = diffusion
+        self.api = api
+        self.energy = energy
+
+
+class SensorNetwork:
+    """The full simulated testbed: radios, MACs, fragmentation, diffusion."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[DiffusionConfig] = None,
+        seed: int = 1,
+        radio_params: Optional[RadioParams] = None,
+        propagation=None,
+        mac_queue_limit: int = 64,
+        mac_factory=None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or DiffusionConfig()
+        self.seed = seed
+        self.sim = Simulator()
+        self.trace = TraceBus()
+        self.seeds = SeedSequence(seed)
+        self.radio_params = radio_params or RadioParams()
+        self.propagation = propagation or DistancePropagation(topology, seed=seed)
+        self.channel = Channel(
+            self.sim, self.propagation, seeds=self.seeds, trace=self.trace
+        )
+        self.energy_account = NetworkEnergyAccount()
+        # mac_factory(sim, modem, rng, queue_limit) -> Mac; None = CSMA.
+        self.mac_factory = mac_factory
+        self.stacks: Dict[int, NodeStack] = {}
+        for node_id in topology.node_ids():
+            self._build_node(node_id, mac_queue_limit)
+
+    def _build_node(self, node_id: int, mac_queue_limit: int) -> None:
+        energy = self.energy_account.ledger(node_id)
+        modem = Modem(
+            self.sim, self.channel, node_id, params=self.radio_params, energy=energy
+        )
+        mac_rng = self.seeds.stream(f"mac:{node_id}")
+        if self.mac_factory is not None:
+            mac = self.mac_factory(self.sim, modem, mac_rng, mac_queue_limit)
+        else:
+            mac = CsmaMac(
+                self.sim, modem, rng=mac_rng, queue_limit=mac_queue_limit
+            )
+        frag = FragmentationLayer(
+            self.sim, mac, node_id, fragment_payload=self.radio_params.fragment_payload
+        )
+        diffusion = DiffusionNode(
+            self.sim,
+            node_id,
+            transport=frag,
+            config=self.config,
+            trace=self.trace,
+            rng=self.seeds.stream(f"diffusion:{node_id}"),
+        )
+        api = DiffusionRouting(diffusion)
+        self.stacks[node_id] = NodeStack(
+            node_id, modem, mac, frag, diffusion, api, energy
+        )
+
+    # -- access ---------------------------------------------------------------
+
+    def api(self, node_id: int) -> DiffusionRouting:
+        return self.stacks[node_id].api
+
+    def node(self, node_id: int) -> DiffusionNode:
+        return self.stacks[node_id].diffusion
+
+    def stack(self, node_id: int) -> NodeStack:
+        return self.stacks[node_id]
+
+    def node_ids(self) -> List[int]:
+        return sorted(self.stacks)
+
+    # -- control -----------------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    def fail_node(self, node_id: int) -> None:
+        """Simulate node death: stop its timers and mute its radio."""
+        stack = self.stacks[node_id]
+        stack.diffusion.shutdown()
+        stack.modem.receive_callback = None
+        stack.mac.enqueue = lambda *args, **kwargs: False
+
+    # -- measurement ----------------------------------------------------------------
+
+    def total_diffusion_bytes_sent(self) -> int:
+        """Bytes handed to the radio by all diffusion modules — the
+        quantity Figure 8 reports."""
+        return sum(s.diffusion.stats.bytes_sent for s in self.stacks.values())
+
+    def total_diffusion_messages_sent(self) -> int:
+        return sum(s.diffusion.stats.messages_sent for s in self.stacks.values())
+
+    def total_radio_bytes_sent(self) -> int:
+        return sum(s.modem.bytes_sent for s in self.stacks.values())
+
+    def total_energy(self, elapsed: float) -> float:
+        return self.energy_account.total_energy(elapsed)

@@ -1,0 +1,102 @@
+"""Canned scenarios: pre-wired networks for tests, demos, and studies.
+
+Each scenario returns a fully constructed :class:`SensorNetwork` (or
+ideal-transport equivalent) plus the role assignments an experiment
+needs, so callers don't repeat topology/plumbing boilerplate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting
+from repro.radio import Topology
+from repro.sim import Simulator
+from repro.testbed.network import IdealNetwork, SensorNetwork
+
+
+@dataclass
+class Scenario:
+    """A network with named roles."""
+
+    network: SensorNetwork
+    roles: Dict[str, object] = field(default_factory=dict)
+
+    def api(self, role: str) -> DiffusionRouting:
+        return self.network.api(self.roles[role])
+
+
+def line_scenario(
+    hops: int = 4,
+    spacing: float = 15.0,
+    seed: int = 1,
+    config: Optional[DiffusionConfig] = None,
+) -> Scenario:
+    """Sink at one end, source at the other, ``hops`` hops apart."""
+    network = SensorNetwork(
+        Topology.line(hops + 1, spacing=spacing), seed=seed, config=config
+    )
+    return Scenario(
+        network=network, roles={"sink": 0, "source": hops}
+    )
+
+
+def grid_scenario(
+    columns: int = 5,
+    rows: int = 5,
+    spacing: float = 18.0,
+    seed: int = 1,
+    config: Optional[DiffusionConfig] = None,
+) -> Scenario:
+    """Sink at one corner, source at the opposite corner."""
+    network = SensorNetwork(
+        Topology.grid(columns=columns, rows=rows, spacing=spacing),
+        seed=seed,
+        config=config,
+    )
+    return Scenario(
+        network=network,
+        roles={"sink": 0, "source": columns * rows - 1, "center": (rows // 2) * columns + columns // 2},
+    )
+
+
+def diamond_scenario(
+    seed: int = 1,
+    config: Optional[DiffusionConfig] = None,
+    spacing: float = 16.0,
+) -> Scenario:
+    """Two disjoint relay paths between sink and source — the minimal
+    topology for studying reinforcement choice, negative reinforcement,
+    and path repair."""
+    topology = Topology()
+    topology.add_node(0, 0.0, 0.0)                 # sink
+    topology.add_node(1, spacing, spacing * 0.6)   # upper relay
+    topology.add_node(2, spacing, -spacing * 0.6)  # lower relay
+    topology.add_node(3, 2 * spacing, 0.0)         # source
+    network = SensorNetwork(topology, seed=seed, config=config)
+    return Scenario(
+        network=network,
+        roles={"sink": 0, "relay_a": 1, "relay_b": 2, "source": 3},
+    )
+
+
+def ideal_line(
+    hops: int,
+    config: Optional[DiffusionConfig] = None,
+    delay: float = 0.01,
+    loss: float = 0.0,
+    seed: int = 1,
+) -> Tuple[Simulator, IdealNetwork, Dict[int, DiffusionNode], Dict[int, DiffusionRouting]]:
+    """A lossless/lossy ideal-transport chain for protocol-logic work."""
+    sim = Simulator()
+    net = IdealNetwork(sim, delay=delay, loss=loss, seed=seed)
+    nodes: Dict[int, DiffusionNode] = {}
+    apis: Dict[int, DiffusionRouting] = {}
+    for i in range(hops + 1):
+        transport = net.add_node(i)
+        nodes[i] = DiffusionNode(sim, i, transport, config=config)
+        apis[i] = DiffusionRouting(nodes[i])
+    for i in range(hops):
+        net.connect(i, i + 1)
+    return sim, net, nodes, apis

@@ -1,0 +1,55 @@
+"""Object blocking: split a persistent object into named blocks.
+
+Blocks are sized so one block message (attributes + payload) stays
+within a handful of radio fragments; every block is self-identifying
+via attributes — object id, block index, block count — so any node can
+cache or serve it (caching repair is what makes hop-by-hop recovery
+cheaper than end-to-end).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import List
+
+#: payload bytes carried per block message
+BLOCK_PAYLOAD_BYTES = 64
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """A large persistent object being transferred."""
+
+    object_id: str
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def block_count(self) -> int:
+        return max(1, math.ceil(len(self.data) / BLOCK_PAYLOAD_BYTES))
+
+    def checksum(self) -> str:
+        return hashlib.sha1(self.data).hexdigest()
+
+    def block_payload(self, index: int) -> bytes:
+        if not 0 <= index < self.block_count:
+            raise IndexError(f"block {index} out of range")
+        start = index * BLOCK_PAYLOAD_BYTES
+        return self.data[start : start + BLOCK_PAYLOAD_BYTES]
+
+
+def split_object(object_id: str, data: bytes) -> DataObject:
+    """Wrap raw bytes as a transferable object."""
+    if not data:
+        raise ValueError("cannot transfer an empty object")
+    return DataObject(object_id=object_id, data=data)
+
+
+def join_blocks(blocks: List[bytes]) -> bytes:
+    """Reassemble payloads in index order."""
+    return b"".join(blocks)

@@ -1,0 +1,169 @@
+"""Receiver side of the block-transfer scheme.
+
+Subscribes to an object's blocks, maintains a hole map, and issues NACK
+repair requests after the stream goes quiet with holes outstanding.
+Repair requests are published as named data (``TYPE IS bulk-repair``)
+that the sender has subscribed to, so they travel on ordinary
+gradients.  Retries are bounded; completion delivers the reassembled
+object through a callback with checksum intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.api import DiffusionRouting
+from repro.naming import Attribute, AttributeVector, Operator
+from repro.naming.keys import Key
+from repro.transfer.blocks import join_blocks
+from repro.transfer.sender import (
+    REPAIR_TYPE,
+    TRANSFER_TYPE,
+    encode_block_list,
+)
+
+
+@dataclass
+class TransferStats:
+    """Observability for one in-progress/finished transfer."""
+
+    object_id: str
+    blocks_expected: Optional[int] = None
+    blocks_received: int = 0
+    duplicate_blocks: int = 0
+    repair_rounds: int = 0
+    completed_at: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+
+class BlockReceiver:
+    """Fetches one object and delivers it on completion."""
+
+    def __init__(
+        self,
+        api: DiffusionRouting,
+        object_id: str,
+        on_complete: Callable[[bytes, TransferStats], None],
+        quiet_timeout: float = 5.0,
+        max_repair_rounds: int = 10,
+        repair_batch: int = 16,
+        backoff_factor: float = 1.5,
+        max_quiet_timeout: float = 30.0,
+        transfer_type: str = TRANSFER_TYPE,
+    ) -> None:
+        self.api = api
+        self.object_id = object_id
+        self.on_complete = on_complete
+        self.quiet_timeout = quiet_timeout
+        self.max_repair_rounds = max_repair_rounds
+        self.repair_batch = repair_batch
+        # NACK rounds back off exponentially: early rounds race the
+        # interest/gradient plumbing, so spreading retries over a longer
+        # horizon is what lets a lossy network converge.
+        self.backoff_factor = backoff_factor
+        self.max_quiet_timeout = max_quiet_timeout
+        self.stats = TransferStats(object_id=object_id)
+        self._blocks: Dict[int, bytes] = {}
+        self._quiet_timer = None
+        self._failed = False
+        block_sub = (
+            AttributeVector.builder()
+            .eq(Key.TYPE, transfer_type)
+            .eq(Key.INSTANCE, object_id)
+            .build()
+        )
+        api.subscribe(block_sub, self._on_block)
+        self._repair_pub = api.publish(
+            AttributeVector.builder()
+            .actual(Key.TYPE, REPAIR_TYPE)
+            .actual(Key.INSTANCE, object_id)
+            .build()
+        )
+        self._arm_quiet_timer()
+
+    # -- block arrival ------------------------------------------------------
+
+    def _on_block(self, attrs: AttributeVector, message) -> None:
+        if self.stats.complete or self._failed:
+            return
+        index = attrs.value_of(Key.SEQUENCE)
+        total = attrs.value_of(Key.DURATION)
+        payload = attrs.value_of(Key.PAYLOAD)
+        if index is None or total is None or not isinstance(payload, bytes):
+            return
+        index, total = int(index), int(total)
+        if self.stats.blocks_expected is None:
+            self.stats.blocks_expected = total
+        if index in self._blocks:
+            self.stats.duplicate_blocks += 1
+        else:
+            self._blocks[index] = payload
+            self.stats.blocks_received += 1
+        self._arm_quiet_timer()
+        if len(self._blocks) == self.stats.blocks_expected:
+            self._finish()
+
+    # -- hole repair ------------------------------------------------------------
+
+    def missing_blocks(self) -> List[int]:
+        if self.stats.blocks_expected is None:
+            return []
+        return [
+            i for i in range(self.stats.blocks_expected) if i not in self._blocks
+        ]
+
+    def _current_quiet_timeout(self) -> float:
+        return min(
+            self.max_quiet_timeout,
+            self.quiet_timeout * self.backoff_factor ** self.stats.repair_rounds,
+        )
+
+    def _arm_quiet_timer(self) -> None:
+        if self._quiet_timer is not None:
+            self._quiet_timer.cancel()
+        self._quiet_timer = self.api.node.sim.schedule(
+            self._current_quiet_timeout(), self._on_quiet, name="transfer.quiet"
+        )
+
+    def _on_quiet(self) -> None:
+        if self.stats.complete or self._failed:
+            return
+        holes = self.missing_blocks()
+        if not holes and self.stats.blocks_expected is not None:
+            self._finish()
+            return
+        if self.stats.repair_rounds >= self.max_repair_rounds:
+            self._failed = True
+            return
+        self.stats.repair_rounds += 1
+        # An empty block list is a status probe: "I have heard nothing,
+        # does this object exist?" — the sender answers with block 0.
+        batch = holes[: self.repair_batch]
+        attrs = AttributeVector.builder().actual(
+            Key.SEQUENCE, self.stats.repair_rounds
+        ).build().with_attribute(
+            Attribute.blob(Key.PAYLOAD, Operator.IS, encode_block_list(batch))
+        )
+        # Repair requests are rare control traffic; flooding them
+        # guarantees they reach the sender regardless of path state.
+        self.api.send(self._repair_pub, attrs, force_exploratory=True)
+        self._arm_quiet_timer()
+
+    # -- completion ------------------------------------------------------------------
+
+    def _finish(self) -> None:
+        self.stats.completed_at = self.api.node.sim.now
+        if self._quiet_timer is not None:
+            self._quiet_timer.cancel()
+        data = join_blocks(
+            [self._blocks[i] for i in range(self.stats.blocks_expected)]
+        )
+        self.on_complete(data, self.stats)
+
+    @property
+    def failed(self) -> bool:
+        return self._failed

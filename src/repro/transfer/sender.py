@@ -1,0 +1,145 @@
+"""Sender side of the block-transfer scheme.
+
+The sender publishes blocks under ``(TYPE IS <transfer type>, INSTANCE
+IS <object id>)``, paces them out, and subscribes to repair requests for
+its objects.  A repair request names missing block indices; the sender
+re-sends exactly those blocks.  Both block and repair traffic are plain
+named data — no new mechanism below the application.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.core.api import DiffusionRouting, PublicationHandle
+from repro.naming import Attribute, AttributeVector, Operator
+from repro.naming.keys import Key
+from repro.transfer.blocks import DataObject
+
+TRANSFER_TYPE = "bulk-transfer"
+REPAIR_TYPE = "bulk-repair"
+
+
+def encode_block_list(indices) -> bytes:
+    """Missing-block list as a compact uint16 vector."""
+    return b"".join(struct.pack("<H", i) for i in sorted(indices))
+
+
+def decode_block_list(payload: bytes):
+    if len(payload) % 2:
+        raise ValueError("repair payload must be uint16-aligned")
+    return [
+        struct.unpack_from("<H", payload, offset)[0]
+        for offset in range(0, len(payload), 2)
+    ]
+
+
+class BlockSender:
+    """Serves one or more objects to interested receivers."""
+
+    def __init__(
+        self,
+        api: DiffusionRouting,
+        block_interval: float = 0.5,
+        rampup_delay: float = 1.5,
+        transfer_type: str = TRANSFER_TYPE,
+    ) -> None:
+        self.api = api
+        self.block_interval = block_interval
+        # Pause between the first (exploratory) block and the stream:
+        # the first block's flood triggers reinforcement, and plain
+        # blocks sent before the path is reinforced are dropped.
+        self.rampup_delay = rampup_delay
+        self.transfer_type = transfer_type
+        self.objects: Dict[str, DataObject] = {}
+        self.blocks_sent = 0
+        self.repairs_served = 0
+        self._publications: Dict[str, PublicationHandle] = {}
+        # Listen for repair requests for any object we serve.
+        repair_sub = (
+            AttributeVector.builder()
+            .eq(Key.TYPE, REPAIR_TYPE)
+            .build()
+        )
+        self.api.subscribe(repair_sub, self._on_repair_request)
+
+    def offer(self, obj: DataObject, start: float = 0.0) -> None:
+        """Register an object and start streaming its blocks."""
+        if obj.object_id in self.objects:
+            raise ValueError(f"object {obj.object_id!r} already offered")
+        self.objects[obj.object_id] = obj
+        self._publications[obj.object_id] = self.api.publish(
+            AttributeVector.builder()
+            .actual(Key.TYPE, self.transfer_type)
+            .actual(Key.INSTANCE, obj.object_id)
+            .build()
+        )
+        sim = self.api.node.sim
+        sim.schedule(start, self._send_block, obj.object_id, 0)
+
+    # -- streaming -------------------------------------------------------
+
+    #: every Nth streamed block floods as exploratory, re-anchoring the
+    #: reinforced path mid-transfer (mirrors diffusion's data cadence)
+    EXPLORATORY_STRIDE = 10
+
+    def _send_block(self, object_id: str, index: int) -> None:
+        obj = self.objects.get(object_id)
+        if obj is None or index >= obj.block_count:
+            return
+        self._transmit_block(
+            obj, index, force_exploratory=(index % self.EXPLORATORY_STRIDE == 0)
+        )
+        delay = self.rampup_delay if index == 0 else self.block_interval
+        self.api.node.sim.schedule(
+            delay, self._send_block, object_id, index + 1,
+            name="transfer.block",
+        )
+
+    def _transmit_block(
+        self, obj: DataObject, index: int, force_exploratory: bool = False
+    ) -> None:
+        attrs = (
+            AttributeVector.builder()
+            .actual(Key.SEQUENCE, index)
+            .actual(Key.DURATION, obj.block_count)  # total, for hole maps
+            .build()
+            .with_attribute(
+                Attribute.blob(Key.PAYLOAD, Operator.IS, obj.block_payload(index))
+            )
+        )
+        self.api.send(
+            self._publications[obj.object_id],
+            attrs,
+            force_exploratory=force_exploratory,
+        )
+        self.blocks_sent += 1
+
+    # -- repair ------------------------------------------------------------
+
+    def _on_repair_request(self, attrs: AttributeVector, message) -> None:
+        object_id = attrs.value_of(Key.INSTANCE)
+        payload = attrs.value_of(Key.PAYLOAD)
+        obj = self.objects.get(object_id)
+        if obj is None or not isinstance(payload, bytes):
+            return
+        sim = self.api.node.sim
+        indices = decode_block_list(payload)
+        if not indices:
+            # Empty NACK: the receiver has heard nothing at all and is
+            # probing for the object; answer with the first block.
+            indices = [0]
+        for offset, index in enumerate(indices):
+            if 0 <= index < obj.block_count:
+                self.repairs_served += 1
+                # Repairs are loss-recovery traffic: flood them so they
+                # make progress even when the reinforced path is stale.
+                sim.schedule(
+                    offset * self.block_interval,
+                    self._transmit_block,
+                    obj,
+                    index,
+                    True,
+                    name="transfer.repair",
+                )

@@ -1,0 +1,135 @@
+"""Tests for the calibration reports and trace logging tools."""
+
+import pytest
+
+from repro.analysis.tracelog import (
+    TraceLogger,
+    load_trace,
+    summarize_trace,
+)
+from repro.naming import AttributeVector
+from repro.naming.keys import Key
+from repro.radio import DistancePropagation, TablePropagation, Topology
+from repro.sim import TraceBus
+from repro.testbed import SensorNetwork
+from repro.testbed.calibration import (
+    LinkReport,
+    link_reports,
+    summarize,
+    usable_graph,
+    validate_isi,
+)
+
+
+class TestLinkReports:
+    def _model(self):
+        topo = Topology()
+        topo.add_node(1, 0.0, 0.0)
+        topo.add_node(2, 15.0, 0.0)
+        topo.add_node(3, 100.0, 0.0)
+        return topo, DistancePropagation(topo, asymmetry=0.0)
+
+    def test_out_of_range_pairs_excluded(self):
+        topo, prop = self._model()
+        reports = link_reports(topo, prop)
+        pairs = {(r.a, r.b) for r in reports}
+        assert (1, 2) in pairs
+        assert (1, 3) not in pairs
+
+    def test_usable_and_asymmetry(self):
+        report = LinkReport(a=1, b=2, prr_ab=0.9, prr_ba=0.7)
+        assert report.usable
+        assert report.asymmetry == pytest.approx(0.2)
+        assert not report.one_way_only
+
+    def test_one_way_only_flagged(self):
+        report = LinkReport(a=1, b=2, prr_ab=0.9, prr_ba=0.1)
+        assert report.one_way_only
+        assert not report.usable
+
+    def test_usable_graph_and_summary(self):
+        topo = Topology()
+        for i, x in enumerate([0.0, 15.0, 30.0, 45.0]):
+            topo.add_node(i, x, 0.0)
+        prop = DistancePropagation(topo, asymmetry=0.0)
+        graph = usable_graph(topo, prop)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        summary = summarize(topo, prop, pairs_of_interest=[(0, 3)])
+        assert summary.connected
+        assert summary.diameter_hops == 3
+        assert summary.hop_counts[(0, 3)] == 3
+
+    def test_disconnected_summary(self):
+        topo = Topology()
+        topo.add_node(1, 0.0, 0.0)
+        topo.add_node(2, 500.0, 0.0)
+        prop = DistancePropagation(topo)
+        summary = summarize(topo, prop, pairs_of_interest=[(1, 2)])
+        assert not summary.connected
+        assert summary.diameter_hops is None
+        assert summary.hop_counts[(1, 2)] is None
+
+
+class TestIsiValidation:
+    def test_all_textual_constraints_hold(self):
+        checks = validate_isi()
+        assert all(checks.values()), checks
+
+    def test_holds_across_seeds(self):
+        for seed in (1, 2, 3):
+            checks = validate_isi(seed=seed)
+            assert all(checks.values()), (seed, checks)
+
+
+class TestTraceLogger:
+    def _run_network(self, bus_logger_path=None):
+        net = SensorNetwork(Topology.line(3, spacing=15.0), seed=4)
+        logger = TraceLogger(net.trace, path=bus_logger_path)
+        sub = AttributeVector.builder().eq(Key.TYPE, "t").build()
+        net.api(0).subscribe(sub, lambda a, m: None)
+        pub = net.api(2).publish(
+            AttributeVector.builder().actual(Key.TYPE, "t").build()
+        )
+        for i in range(5):
+            net.sim.schedule(
+                2.0 + i, net.api(2).send, pub,
+                AttributeVector.builder().actual(Key.SEQUENCE, i).build(),
+            )
+        net.run(until=15.0)
+        logger.close()
+        return logger
+
+    def test_in_memory_logging(self):
+        logger = self._run_network()
+        assert logger.records_written > 0
+        assert logger.records
+        categories = {r.category for r in logger.records}
+        assert "diffusion.tx" in categories
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        logger = self._run_network(bus_logger_path=path)
+        records = load_trace(path)
+        assert len(records) == logger.records_written
+        assert records[0].time <= records[-1].time
+
+    def test_summary_statistics(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._run_network(bus_logger_path=path)
+        summary = summarize_trace(load_trace(path))
+        assert summary.record_count > 0
+        assert summary.duration > 0
+        assert summary.by_category.get("diffusion.tx", 0) > 0
+        # Every node transmitted something (interests at least).
+        assert set(summary.tx_bytes_by_node) == {0, 1, 2}
+
+    def test_bytes_payload_serialized(self, tmp_path):
+        bus = TraceBus()
+        path = tmp_path / "trace.jsonl"
+        logger = TraceLogger(bus, path=path)
+        bus.emit(1.0, "custom", node=1, blob=b"\x01\x02", obj=object())
+        logger.close()
+        records = load_trace(path)
+        assert records[0].data["blob"] == "0102"
+        assert "object" in records[0].data["obj"]

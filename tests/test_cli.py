@@ -1,0 +1,34 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXAMPLES, main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        assert "subpackages" in out
+
+    def test_experiments_quick_single(self, capsys):
+        assert main(["experiments", "--quick", "--only", "micro"]) == 0
+        out = capsys.readouterr().out
+        assert "footprint" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_example_names_match_disk(self):
+        from pathlib import Path
+
+        examples_dir = Path(__file__).resolve().parents[1] / "examples"
+        on_disk = {p.name for p in examples_dir.glob("*.py")}
+        assert set(EXAMPLES.values()) == on_disk
+
+    def test_example_runs(self, capsys):
+        assert main(["example", "quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "after interest propagation" in out

@@ -1,0 +1,128 @@
+"""Fast-variant tests for the experiment harnesses.
+
+Full paper-scale runs live in benchmarks/; these verify the harness
+plumbing (parameter validation, result structure, table/chart
+formatting) at reduced durations.
+"""
+
+import pytest
+
+from repro.experiments import (
+    MatchingVariant,
+    build_set_a,
+    build_set_b,
+    measure_matching,
+    run_duty_cycle_analysis,
+    run_fig8,
+    run_fig8_trial,
+    run_fig9,
+    run_fig9_trial,
+)
+from repro.experiments.fig8_aggregation import format_chart as fig8_chart
+from repro.experiments.fig8_aggregation import format_table as fig8_table
+from repro.experiments.fig8_aggregation import savings_at
+from repro.experiments.fig9_nested import format_table as fig9_table
+from repro.experiments.fig9_nested import loss_reduction_at
+from repro.experiments.fig11_matching import format_chart as fig11_chart
+from repro.experiments.fig11_matching import format_table as fig11_table
+from repro.experiments.duty_cycle import format_table as duty_table
+from repro.experiments.runner import main as runner_main
+
+
+class TestFig8Harness:
+    def test_trial_result_structure(self):
+        result = run_fig8_trial(2, True, seed=1, duration=240.0)
+        assert result.sources == 2
+        assert result.suppression is True
+        assert result.diffusion_bytes_sent > 0
+        assert 0.0 <= result.delivery_ratio <= 1.0
+
+    def test_invalid_source_count(self):
+        with pytest.raises(ValueError):
+            run_fig8_trial(0, True, seed=1)
+        with pytest.raises(ValueError):
+            run_fig8_trial(5, True, seed=1)
+
+    def test_sweep_and_formatting(self):
+        points = run_fig8(source_counts=(1, 2), trials=2, duration=240.0)
+        assert len(points) == 4
+        table = fig8_table(points)
+        assert "with suppression" in table
+        chart = fig8_chart(points)
+        assert "Figure 8" in chart
+        assert isinstance(savings_at(points, 2), float)
+
+    def test_points_carry_trials(self):
+        points = run_fig8(source_counts=(1,), trials=2, duration=240.0)
+        assert all(len(p.trials) == 2 for p in points)
+        assert all(p.bytes_per_event.n == 2 for p in points)
+
+
+class TestFig9Harness:
+    def test_trial_result_structure(self):
+        result = run_fig9_trial(1, True, seed=1, duration=240.0)
+        assert result.num_lights == 1
+        assert result.possible_events == 4
+        assert 0.0 <= result.delivery_percentage <= 100.0
+
+    def test_invalid_light_count(self):
+        with pytest.raises(ValueError):
+            run_fig9_trial(0, True, seed=1)
+
+    def test_sweep_and_formatting(self):
+        points = run_fig9(light_counts=(1,), trials=2, duration=240.0)
+        assert len(points) == 2
+        table = fig9_table(points)
+        assert "nested" in table
+        assert isinstance(loss_reduction_at(points, 1), float)
+
+
+class TestFig11Harness:
+    def test_set_sizes(self):
+        assert len(build_set_a()) == 8
+        assert len(build_set_b(6, MatchingVariant.MATCH_IS)) == 6
+        assert len(build_set_b(30, MatchingVariant.MATCH_EQ)) == 30
+
+    def test_set_b_minimum_size(self):
+        with pytest.raises(ValueError):
+            build_set_b(5, MatchingVariant.MATCH_IS)
+
+    @pytest.mark.parametrize("variant", list(MatchingVariant))
+    def test_measure_validates_expected_outcome(self, variant):
+        m = measure_matching(variant, 10, iterations=50)
+        assert m.matched == variant.matches
+        assert m.seconds_per_match > 0
+
+    def test_formatting(self):
+        measurements = [
+            measure_matching(v, s, iterations=20)
+            for v in MatchingVariant
+            for s in (6, 10)
+        ]
+        table = fig11_table(measurements)
+        assert "match/eq" in table
+        chart = fig11_chart(measurements)
+        assert "Figure 11" in chart
+
+
+class TestDutyHarness:
+    def test_rows_and_formatting(self):
+        rows = run_duty_cycle_analysis()
+        assert any("note" in r for r in rows)
+        table = duty_table(rows)
+        assert "listen" in table
+
+
+class TestRunner:
+    def test_quick_single_experiment(self, capsys):
+        assert runner_main(["--quick", "--only", "duty"]) == 0
+        out = capsys.readouterr().out
+        assert "[duty]" in out
+        assert "listen" in out
+
+    def test_quick_model_and_micro(self, capsys):
+        assert runner_main(["--quick", "--only", "model"]) == 0
+        assert runner_main(["--quick", "--only", "micro"]) == 0
+        out = capsys.readouterr().out
+        assert "analytical traffic model" in out
+        assert "footprint" in out

@@ -1,0 +1,131 @@
+"""Tests for the residual-energy scan application."""
+
+import pytest
+
+from repro.apps.monitoring import (
+    EnergyDigest,
+    EnergyReporter,
+    EnergyScanAggregator,
+    EnergyScanSink,
+)
+from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting
+from repro.energy import EnergyLedger
+from repro.sim import Simulator
+from repro.testbed import IdealNetwork
+
+
+def build_scan_net(n, pairs):
+    sim = Simulator()
+    net = IdealNetwork(sim, delay=0.01)
+    nodes, apis, ledgers = {}, {}, {}
+    config = DiffusionConfig(reinforcement_jitter=0.05)
+    for i in range(n):
+        transport = net.add_node(i)
+        nodes[i] = DiffusionNode(sim, i, transport, config=config)
+        apis[i] = DiffusionRouting(nodes[i])
+        ledgers[i] = EnergyLedger()
+    for a, b in pairs:
+        net.connect(a, b)
+    return sim, net, nodes, apis, ledgers
+
+
+class TestEnergyDigest:
+    def test_single(self):
+        d = EnergyDigest.single(5.0)
+        assert d.minimum == d.maximum == d.total == 5.0
+        assert d.count == 1
+        assert d.mean == 5.0
+
+    def test_merge(self):
+        a = EnergyDigest.single(2.0)
+        b = EnergyDigest.single(8.0)
+        merged = a.merge(b)
+        assert merged.minimum == 2.0
+        assert merged.maximum == 8.0
+        assert merged.total == 10.0
+        assert merged.count == 2
+        assert merged.mean == 5.0
+
+    def test_codec_round_trip(self):
+        d = EnergyDigest(minimum=1.5, maximum=9.0, total=20.5, count=4)
+        assert EnergyDigest.decode(d.encode()) == d
+
+    def test_empty_mean(self):
+        assert EnergyDigest(0, 0, 0, 0).mean == 0.0
+
+
+class TestEnergyReporter:
+    def test_residual_decreases_with_spend(self):
+        sim, net, nodes, apis, ledgers = build_scan_net(2, [(0, 1)])
+        reporter = EnergyReporter(apis[1], ledgers[1], budget=1000.0)
+        first = reporter.residual_energy()
+        ledgers[1].record_send(10.0)
+        sim.run(until=1.0)
+        assert reporter.residual_energy() < first
+
+    def test_invalid_budget(self):
+        sim, net, nodes, apis, ledgers = build_scan_net(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            EnergyReporter(apis[1], ledgers[1], budget=0.0)
+
+    def test_reports_flow_to_sink(self):
+        sim, net, nodes, apis, ledgers = build_scan_net(3, [(0, 1), (1, 2)])
+        sink = EnergyScanSink(apis[0])
+        EnergyReporter(apis[2], ledgers[2], budget=1000.0, interval=5.0)
+        sim.run(until=30.0)
+        assert sink.digests_received >= 3
+        assert sink.network_view is not None
+        assert sink.network_view.minimum <= 1000.0
+
+
+class TestAggregation:
+    def test_reports_merged_in_network(self):
+        # Star: reporters at 2, 3, 4 behind aggregator 1; sink at 0.
+        sim, net, nodes, apis, ledgers = build_scan_net(
+            5, [(0, 1), (1, 2), (1, 3), (1, 4)]
+        )
+        sink = EnergyScanSink(apis[0])
+        agg = EnergyScanAggregator(nodes[1], delay=1.0)
+        for i, budget in ((2, 100.0), (3, 200.0), (4, 300.0)):
+            EnergyReporter(apis[i], ledgers[i], budget=budget, interval=8.0)
+        sim.run(until=40.0)
+        assert agg.reports_merged > 0
+        assert sink.network_view is not None
+        # The merged minimum must reflect the poorest node (budget 100).
+        assert sink.network_view.minimum <= 100.0
+        assert sink.network_view.maximum <= 300.0
+
+    def test_aggregation_reduces_messages_at_sink(self):
+        def run(with_aggregator):
+            sim, net, nodes, apis, ledgers = build_scan_net(
+                5, [(0, 1), (1, 2), (1, 3), (1, 4)]
+            )
+            sink = EnergyScanSink(apis[0])
+            if with_aggregator:
+                EnergyScanAggregator(nodes[1], delay=1.0)
+            for i in (2, 3, 4):
+                EnergyReporter(apis[i], ledgers[i], budget=500.0, interval=8.0)
+            sim.run(until=60.0)
+            return sink.digests_received
+
+        assert run(True) < run(False)
+
+    def test_digest_counts_cover_all_reporters(self):
+        sim, net, nodes, apis, ledgers = build_scan_net(
+            4, [(0, 1), (1, 2), (1, 3)]
+        )
+        sink = EnergyScanSink(apis[0])
+        EnergyScanAggregator(nodes[1], delay=1.5)
+        for i in (2, 3):
+            EnergyReporter(apis[i], ledgers[i], budget=500.0, interval=6.0)
+        sim.run(until=30.0)
+        assert sink.network_view.count >= 2
+
+    def test_remove_cancels_pending(self):
+        sim, net, nodes, apis, ledgers = build_scan_net(3, [(0, 1), (1, 2)])
+        agg = EnergyScanAggregator(nodes[1], delay=10.0)
+        EnergyScanSink(apis[0])
+        EnergyReporter(apis[2], ledgers[2], budget=100.0, interval=3.0)
+        sim.schedule(5.0, agg.remove)
+        sim.run(until=6.0)
+        assert agg._pending is None

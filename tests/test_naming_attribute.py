@@ -1,0 +1,152 @@
+"""Unit tests for Attribute, Operator, and ValueType."""
+
+import pytest
+
+from repro.naming import Attribute, AttributeValueError, Operator, ValueType
+from repro.naming.keys import Key
+
+
+class TestOperator:
+    def test_is_actual_only_for_is(self):
+        assert Operator.IS.is_actual
+        for op in Operator:
+            if op is not Operator.IS:
+                assert op.is_formal
+                assert not op.is_actual
+
+    def test_formal_and_actual_disjoint(self):
+        for op in Operator:
+            assert op.is_actual != op.is_formal
+
+
+class TestValueTypeValidation:
+    def test_int32_accepts_range(self):
+        assert ValueType.INT32.validate(2**31 - 1) == 2**31 - 1
+        assert ValueType.INT32.validate(-(2**31)) == -(2**31)
+
+    def test_int32_rejects_overflow(self):
+        with pytest.raises(AttributeValueError):
+            ValueType.INT32.validate(2**31)
+
+    def test_int32_rejects_bool(self):
+        with pytest.raises(AttributeValueError):
+            ValueType.INT32.validate(True)
+
+    def test_int32_rejects_float(self):
+        with pytest.raises(AttributeValueError):
+            ValueType.INT32.validate(1.5)
+
+    def test_float32_round_trips_single_precision(self):
+        stored = ValueType.FLOAT32.validate(0.1)
+        # 0.1 is not representable in binary32; the stored value must be
+        # the binary32 rounding so both sides of the radio agree.
+        assert stored != 0.1
+        assert abs(stored - 0.1) < 1e-7
+
+    def test_float64_keeps_double_precision(self):
+        assert ValueType.FLOAT64.validate(0.1) == 0.1
+
+    def test_nan_rejected(self):
+        with pytest.raises(AttributeValueError):
+            ValueType.FLOAT64.validate(float("nan"))
+
+    def test_string_requires_str(self):
+        with pytest.raises(AttributeValueError):
+            ValueType.STRING.validate(b"bytes")
+
+    def test_blob_accepts_bytearray(self):
+        assert ValueType.BLOB.validate(bytearray(b"xy")) == b"xy"
+
+    def test_blob_rejects_str(self):
+        with pytest.raises(AttributeValueError):
+            ValueType.BLOB.validate("text")
+
+
+class TestAttribute:
+    def test_immutable(self):
+        attr = Attribute.int32(Key.SEQUENCE, Operator.IS, 5)
+        with pytest.raises(AttributeError):
+            attr.value = 6
+
+    def test_equality_and_hash(self):
+        a = Attribute.int32(Key.SEQUENCE, Operator.IS, 5)
+        b = Attribute.int32(Key.SEQUENCE, Operator.IS, 5)
+        c = Attribute.int32(Key.SEQUENCE, Operator.IS, 6)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_key_must_be_uint32(self):
+        with pytest.raises(AttributeValueError):
+            Attribute.int32(-1, Operator.IS, 0)
+        with pytest.raises(AttributeValueError):
+            Attribute.int32(2**32, Operator.IS, 0)
+
+    def test_wire_size_int(self):
+        attr = Attribute.int32(Key.SEQUENCE, Operator.IS, 5)
+        assert attr.wire_size() == 8 + 4
+
+    def test_wire_size_string(self):
+        attr = Attribute.string(Key.TASK, Operator.IS, "detectAnimal")
+        assert attr.wire_size() == 8 + len("detectAnimal")
+
+    def test_repr_uses_key_names(self):
+        attr = Attribute.string(Key.TASK, Operator.EQ, "detectAnimal")
+        assert "task" in repr(attr)
+        assert "EQ" in repr(attr)
+
+
+class TestCompares:
+    """The paper's worked example: 'confidence GT 0.5' semantics."""
+
+    def _formal(self, op, value):
+        return Attribute.float64(Key.CONFIDENCE, op, value)
+
+    def _actual(self, value):
+        return Attribute.float64(Key.CONFIDENCE, Operator.IS, value)
+
+    def test_gt_matches_larger_actual(self):
+        assert self._formal(Operator.GT, 0.5).compares_with(self._actual(0.7))
+
+    def test_gt_rejects_smaller_actual(self):
+        assert not self._formal(Operator.GT, 0.5).compares_with(self._actual(0.3))
+
+    def test_gt_rejects_equal_actual(self):
+        assert not self._formal(Operator.GT, 0.5).compares_with(self._actual(0.5))
+
+    def test_ge_accepts_equal(self):
+        assert self._formal(Operator.GE, 0.5).compares_with(self._actual(0.5))
+
+    def test_lt_le(self):
+        assert self._formal(Operator.LT, 0.5).compares_with(self._actual(0.4))
+        assert not self._formal(Operator.LT, 0.5).compares_with(self._actual(0.5))
+        assert self._formal(Operator.LE, 0.5).compares_with(self._actual(0.5))
+
+    def test_eq_ne(self):
+        assert self._formal(Operator.EQ, 0.5).compares_with(self._actual(0.5))
+        assert not self._formal(Operator.EQ, 0.5).compares_with(self._actual(0.6))
+        assert self._formal(Operator.NE, 0.5).compares_with(self._actual(0.6))
+
+    def test_eq_any_matches_anything(self):
+        formal = Attribute.int32(Key.CONFIDENCE, Operator.EQ_ANY, 0)
+        assert formal.compares_with(self._actual(123.0))
+
+    def test_int_float_cross_type_comparison(self):
+        formal = Attribute.int32(Key.CONFIDENCE, Operator.GT, 50)
+        actual = Attribute.float64(Key.CONFIDENCE, Operator.IS, 90.0)
+        assert formal.compares_with(actual)
+
+    def test_string_blob_not_cross_comparable(self):
+        formal = Attribute.string(Key.TASK, Operator.EQ, "x")
+        actual = Attribute.blob(Key.TASK, Operator.IS, b"x")
+        assert not formal.compares_with(actual)
+
+    def test_string_equality(self):
+        formal = Attribute.string(Key.TASK, Operator.EQ, "detectAnimal")
+        actual = Attribute.string(Key.TASK, Operator.IS, "detectAnimal")
+        assert formal.compares_with(actual)
+
+    def test_compares_with_requires_formal(self):
+        actual = self._actual(0.5)
+        with pytest.raises(AttributeValueError):
+            actual.compares_with(self._actual(0.5))

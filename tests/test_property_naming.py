@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for the naming subsystem."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.naming import (
+    Attribute,
+    AttributeVector,
+    Operator,
+    ValueType,
+    decode_attributes,
+    encode_attributes,
+    encoded_size,
+    one_way_match,
+    one_way_match_segregated,
+    two_way_match,
+)
+
+KEYS = st.integers(min_value=1, max_value=50)
+
+
+@st.composite
+def attributes(draw):
+    key = draw(KEYS)
+    vtype = draw(st.sampled_from(list(ValueType)))
+    op = draw(st.sampled_from(list(Operator)))
+    if vtype is ValueType.INT32:
+        value = draw(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    elif vtype in (ValueType.FLOAT32, ValueType.FLOAT64):
+        value = draw(
+            st.floats(
+                min_value=-1e6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            )
+        )
+    elif vtype is ValueType.STRING:
+        value = draw(st.text(max_size=20))
+    else:
+        value = draw(st.binary(max_size=20))
+    return Attribute(key, vtype, op, value)
+
+
+attr_lists = st.lists(attributes(), max_size=12)
+
+
+class TestMatchingProperties:
+    @given(attr_lists, attr_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_segregated_agrees_with_reference(self, a, b):
+        assert one_way_match_segregated(a, b) == one_way_match(a, b)
+
+    @given(attr_lists, attr_lists)
+    def test_two_way_is_symmetric(self, a, b):
+        assert two_way_match(a, b) == two_way_match(b, a)
+
+    @given(attr_lists, attr_lists, attributes())
+    def test_adding_actual_to_b_preserves_one_way_match(self, a, b, extra):
+        """One-way matching is monotone in B's actuals: more bound data
+        can only satisfy more formals, never fewer."""
+        if not one_way_match(a, b):
+            return
+        actual = Attribute(extra.key, extra.type, Operator.IS, extra.value)
+        assert one_way_match(a, b + [actual])
+
+    @given(attr_lists, attr_lists)
+    def test_removing_formals_from_a_preserves_match(self, a, b):
+        if not one_way_match(a, b):
+            return
+        fewer_formals = [x for x in a if x.is_actual]
+        assert one_way_match(fewer_formals, b)
+
+    @given(attr_lists)
+    def test_actuals_only_sets_always_two_way_match(self, attrs):
+        actuals = [
+            Attribute(x.key, x.type, Operator.IS, x.value) for x in attrs
+        ]
+        assert two_way_match(actuals, actuals)
+
+    @given(attr_lists)
+    def test_match_against_self_with_satisfied_formals(self, attrs):
+        """A set joined with actuals for each of its formals matches
+        itself one-way."""
+        closure = list(attrs)
+        for x in attrs:
+            if x.is_formal and x.op is not Operator.NE:
+                if x.op is Operator.EQ_ANY:
+                    closure.append(Attribute(x.key, x.type, Operator.IS, x.value))
+                elif x.op in (Operator.EQ, Operator.GE, Operator.LE):
+                    closure.append(Attribute(x.key, x.type, Operator.IS, x.value))
+        only_satisfiable = [
+            x
+            for x in closure
+            if not (x.is_formal and x.op in (Operator.NE, Operator.GT, Operator.LT))
+        ]
+        assert one_way_match(only_satisfiable, only_satisfiable)
+
+    @given(attr_lists, attr_lists)
+    def test_matching_is_deterministic(self, a, b):
+        assert one_way_match(a, b) == one_way_match(a, b)
+
+
+class TestWireProperties:
+    @given(attr_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, attrs):
+        data = encode_attributes(attrs)
+        decoded, consumed = decode_attributes(data)
+        assert consumed == len(data)
+        assert decoded == attrs
+
+    @given(attr_lists)
+    def test_encoded_size_is_exact(self, attrs):
+        assert encoded_size(attrs) == len(encode_attributes(attrs))
+
+    @given(attr_lists, st.binary(max_size=8))
+    def test_trailing_bytes_ignored(self, attrs, trailer):
+        data = encode_attributes(attrs) + trailer
+        decoded, consumed = decode_attributes(data)
+        assert decoded == attrs
+        assert consumed == len(data) - len(trailer)
+
+
+class TestVectorProperties:
+    @given(attr_lists)
+    def test_digest_permutation_invariant(self, attrs):
+        import random as _random
+
+        vec = AttributeVector(attrs)
+        shuffled = list(attrs)
+        _random.Random(0).shuffle(shuffled)
+        assert vec.digest() == AttributeVector(shuffled).digest()
+
+    @given(attr_lists, attributes())
+    def test_with_attribute_appends(self, attrs, extra):
+        vec = AttributeVector(attrs)
+        extended = vec.with_attribute(extra)
+        assert len(extended) == len(vec) + 1
+        assert extended[-1] == extra
+
+    @given(attr_lists, KEYS)
+    def test_without_key_removes_all(self, attrs, key):
+        vec = AttributeVector(attrs).without_key(key)
+        assert all(a.key != key for a in vec)
+
+    @given(attr_lists)
+    def test_wire_size_nonnegative_and_additive(self, attrs):
+        vec = AttributeVector(attrs)
+        assert vec.wire_size() == sum(a.wire_size() for a in attrs)
+
+
+class TestWireFuzzing:
+    """The decoder must fail cleanly on arbitrary bytes: WireFormatError
+    (or a successful parse), never any other exception."""
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_decoder_never_crashes(self, blob):
+        from repro.naming.wire import WireFormatError
+
+        try:
+            decoded, consumed = decode_attributes(blob)
+        except WireFormatError:
+            return
+        assert consumed <= len(blob)
+        for attr in decoded:
+            assert attr.wire_size() >= 8

@@ -1,0 +1,124 @@
+"""Property-based tests of protocol invariants on random topologies.
+
+For arbitrary connected graphs and seeds, directed diffusion must:
+
+* flood interests to every node (connected ⇒ full gradient coverage);
+* deliver each data message to a subscriber at most once;
+* quiesce (no livelock) — the event count stays bounded;
+* never transmit a message an unbounded number of times per node.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting, MessageType
+from repro.naming import AttributeVector
+from repro.naming.keys import Key
+from repro.sim import Simulator
+from repro.testbed import IdealNetwork
+
+
+@st.composite
+def connected_graphs(draw):
+    """A random connected graph as (n, edge list)."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    # A random spanning tree guarantees connectivity...
+    edges = set()
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        edges.add((parent, node))
+    # ...plus a few random extra edges for cycles.
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return n, sorted(edges)
+
+
+def build(n, edges, seed=1):
+    sim = Simulator()
+    net = IdealNetwork(sim, delay=0.01, seed=seed)
+    config = DiffusionConfig(reinforcement_jitter=0.05)
+    nodes, apis = {}, {}
+    for i in range(n):
+        nodes[i] = DiffusionNode(sim, i, net.add_node(i), config=config)
+        apis[i] = DiffusionRouting(nodes[i])
+    for a, b in edges:
+        net.connect(a, b)
+    return sim, nodes, apis
+
+
+SUB = AttributeVector.builder().eq(Key.TYPE, "p").build()
+PUB = AttributeVector.builder().actual(Key.TYPE, "p").build()
+
+
+class TestFloodInvariants:
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_interest_reaches_every_node(self, graph):
+        n, edges = graph
+        sim, nodes, apis = build(n, edges)
+        apis[0].subscribe(SUB, lambda a, m: None)
+        sim.run(until=5.0)
+        for i in range(1, n):
+            assert len(nodes[i].gradients) == 1, f"node {i} missed the flood"
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_each_node_forwards_interest_once(self, graph):
+        n, edges = graph
+        sim, nodes, apis = build(n, edges)
+        apis[0].subscribe(SUB, lambda a, m: None)
+        sim.run(until=5.0)
+        for i in range(n):
+            assert nodes[i].stats.messages_by_type[MessageType.INTEREST] <= 1
+
+
+class TestDeliveryInvariants:
+    @given(connected_graphs(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_at_most_once_delivery(self, graph, seed):
+        n, edges = graph
+        sim, nodes, apis = build(n, edges, seed=seed)
+        received = []
+        apis[0].subscribe(SUB, lambda a, m: received.append(a.value_of(Key.SEQUENCE)))
+        source = n - 1
+        pub = apis[source].publish(PUB)
+        for i in range(3):
+            sim.schedule(1.0 + i, apis[source].send, pub,
+                         AttributeVector.builder().actual(Key.SEQUENCE, i).build())
+        sim.run(until=20.0)
+        assert sorted(received) == sorted(set(received))
+        # Lossless connected network: everything arrives.
+        assert set(received) == {0, 1, 2}
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_simulation_quiesces(self, graph):
+        n, edges = graph
+        sim, nodes, apis = build(n, edges)
+        apis[0].subscribe(SUB, lambda a, m: None)
+        pub = apis[n - 1].publish(PUB)
+        sim.schedule(1.0, apis[n - 1].send, pub,
+                     AttributeVector.builder().actual(Key.SEQUENCE, 0).build())
+        sim.run(until=25.0, max_events=20_000)
+        # No livelock: the bound is far below the cap for n <= 8.
+        assert sim.events_processed < 20_000
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_exploratory_forwarded_at_most_once_per_node(self, graph):
+        n, edges = graph
+        sim, nodes, apis = build(n, edges)
+        apis[0].subscribe(SUB, lambda a, m: None)
+        pub = apis[n - 1].publish(PUB)
+        sim.schedule(1.0, apis[n - 1].send, pub,
+                     AttributeVector.builder().actual(Key.SEQUENCE, 0).build())
+        sim.run(until=10.0)
+        for i in range(n):
+            assert (
+                nodes[i].stats.messages_by_type[MessageType.EXPLORATORY_DATA]
+                <= 1
+            )

@@ -1,0 +1,117 @@
+"""Property-based tests for kernel, cache, fragmentation, and energy."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.cache import DataCache
+from repro.energy.model import DutyCycleModel
+from repro.link.frag import Fragment, FragmentationLayer
+from repro.mac import CsmaMac
+from repro.radio import Channel, Modem, TablePropagation
+from repro.sim import SeedSequence, Simulator
+
+
+class TestKernelProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_run_until_never_executes_later_events(self, delays, horizon):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=horizon)
+        assert all(d <= horizon for d in fired)
+        assert sim.now >= horizon or not delays
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), max_size=100),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_capacity_never_exceeded(self, keys, capacity):
+        cache = DataCache(capacity=capacity, timeout=1e9)
+        for i, key in enumerate(keys):
+            cache.seen_before(key, now=float(i))
+            assert len(cache) <= capacity
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=50))
+    def test_immediate_requery_is_hit(self, keys):
+        cache = DataCache(capacity=100, timeout=10.0)
+        for key in keys:
+            cache.seen_before(key, now=0.0)
+            assert cache.seen_before(key, now=0.0)
+
+
+class TestFragmentationProperties:
+    def _layer(self):
+        sim = Simulator()
+        channel = Channel(sim, TablePropagation({}), seeds=SeedSequence(1))
+        modem = Modem(sim, channel, node_id=0)
+        mac = CsmaMac(sim, modem)
+        return sim, FragmentationLayer(sim, mac, node_id=0)
+
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_fragment_count_covers_message(self, nbytes):
+        sim, layer = self._layer()
+        count = layer.fragments_for(nbytes)
+        assert (count - 1) * layer.fragment_payload < nbytes
+        assert count * layer.fragment_payload >= nbytes
+
+    @given(
+        st.integers(min_value=28, max_value=300),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=50)
+    def test_reassembly_order_independent(self, nbytes, rng):
+        sim, layer = self._layer()
+        delivered = []
+        layer.deliver_callback = lambda msg, src, nb: delivered.append((msg, nb))
+        count = layer.fragments_for(nbytes)
+        remaining = nbytes
+        fragments = []
+        for index in range(count):
+            size = min(layer.fragment_payload, remaining)
+            remaining -= size
+            fragments.append(
+                Fragment(
+                    message_id=(9, 1),
+                    index=index,
+                    count=count,
+                    nbytes=size,
+                    message="payload",
+                )
+            )
+        rng.shuffle(fragments)
+        for fragment in fragments:
+            layer.on_fragment(fragment, src=9)
+        assert delivered == [("payload", nbytes)]
+
+
+class TestEnergyProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_fractions_sum_to_one(self, duty):
+        b = DutyCycleModel().breakdown(duty)
+        total = b.listen_fraction + b.receive_fraction + b.send_fraction
+        assert abs(total - 1.0) < 1e-9
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_energy_monotone_in_duty_cycle(self, d1, d2):
+        model = DutyCycleModel()
+        low, high = sorted((d1, d2))
+        assert model.energy(low) <= model.energy(high)

@@ -1,0 +1,178 @@
+"""Tests for one-phase push diffusion.
+
+Paper Section 3.1: "although our example describes a particular usage
+of the directed diffusion paradigm (a query-response type usage ...),
+the paradigm itself is more general than that."  Push mode inverts the
+roles: sources advertise, passive sinks reinforce back.
+"""
+
+import pytest
+
+from repro.core import (
+    DiffusionConfig,
+    DiffusionNode,
+    DiffusionRouting,
+    MessageType,
+)
+from repro.naming import AttributeVector
+from repro.naming.keys import Key
+from repro.sim import Simulator
+from repro.testbed import IdealNetwork
+
+
+def push_config(**kwargs):
+    return DiffusionConfig(
+        push_mode=True,
+        reinforcement_jitter=0.05,
+        exploratory_interval=10.0,
+        **kwargs,
+    )
+
+
+def build_line(n, config=None):
+    sim = Simulator()
+    net = IdealNetwork(sim, delay=0.01)
+    nodes, apis = {}, {}
+    for i in range(n):
+        nodes[i] = DiffusionNode(
+            sim, i, net.add_node(i), config=config or push_config()
+        )
+        apis[i] = DiffusionRouting(nodes[i])
+    for i in range(n - 1):
+        net.connect(i, i + 1)
+    return sim, net, nodes, apis
+
+
+def sub_attrs():
+    return AttributeVector.builder().eq(Key.TYPE, "temp").build()
+
+
+def pub_attrs():
+    return AttributeVector.builder().actual(Key.TYPE, "temp").build()
+
+
+def sample(seq):
+    return AttributeVector.builder().actual(Key.SEQUENCE, seq).build()
+
+
+class TestPushBasics:
+    def test_no_interest_traffic_at_all(self):
+        sim, net, nodes, apis = build_line(4)
+        apis[0].subscribe(sub_attrs(), lambda a, m: None)
+        sim.run(until=120.0)
+        for node in nodes.values():
+            assert node.stats.messages_by_type[MessageType.INTEREST] == 0
+
+    def test_advertisement_reaches_passive_sink(self):
+        sim, net, nodes, apis = build_line(4)
+        received = []
+        apis[0].subscribe(sub_attrs(), lambda a, m: received.append(a))
+        pub = apis[3].publish(pub_attrs())
+        sim.schedule(1.0, apis[3].send, pub, sample(0))
+        sim.run(until=5.0)
+        assert len(received) == 1
+
+    def test_plain_data_follows_reinforced_path(self):
+        sim, net, nodes, apis = build_line(4)
+        received = []
+        apis[0].subscribe(sub_attrs(), lambda a, m: received.append(a))
+        pub = apis[3].publish(pub_attrs())
+        for i in range(6):
+            sim.schedule(1.0 + i, apis[3].send, pub, sample(i))
+        sim.run(until=15.0)
+        assert len(received) == 6
+        # Messages 1..5 are plain and travel unicast: relay DATA counts.
+        assert nodes[1].stats.messages_by_type[MessageType.DATA] == 5
+        assert nodes[2].stats.messages_by_type[MessageType.DATA] == 5
+
+    def test_advertisements_flood_even_without_sinks(self):
+        sim, net, nodes, apis = build_line(4)
+        pub = apis[3].publish(pub_attrs())
+        sim.schedule(1.0, apis[3].send, pub, sample(0))
+        sim.run(until=5.0)
+        # The advertisement flooded the whole network — push's cost.
+        for i in (0, 1, 2):
+            assert (
+                nodes[i].stats.messages_by_type[MessageType.EXPLORATORY_DATA]
+                >= 0
+            )
+        assert nodes[3].stats.messages_by_type[MessageType.EXPLORATORY_DATA] == 1
+
+    def test_plain_data_without_sinks_dropped_at_source(self):
+        sim, net, nodes, apis = build_line(3)
+        pub = apis[2].publish(pub_attrs())
+        for i in range(3):
+            sim.schedule(1.0 + i, apis[2].send, pub, sample(i))
+        sim.run(until=20.0)
+        # Advertisement flood happened, but the plain messages found no
+        # reinforced gradient and died at the source.
+        assert nodes[2].stats.messages_by_type[MessageType.DATA] == 0
+
+    def test_non_matching_subscription_not_delivered(self):
+        sim, net, nodes, apis = build_line(3)
+        received = []
+        other = AttributeVector.builder().eq(Key.TYPE, "humidity").build()
+        apis[0].subscribe(other, lambda a, m: received.append(a))
+        pub = apis[2].publish(pub_attrs())
+        sim.schedule(1.0, apis[2].send, pub, sample(0))
+        sim.run(until=5.0)
+        assert received == []
+
+
+class TestPushVsPullTradeoff:
+    """The classic crossover: pull pays interest floods per sink; push
+    pays advertisement floods per source."""
+
+    @staticmethod
+    def _run(push, n_sinks, n_sources, duration=120.0):
+        # Star-of-lines: sources on one side, sinks on the other.
+        sim = Simulator()
+        net = IdealNetwork(sim, delay=0.01)
+        config = (
+            push_config()
+            if push
+            else DiffusionConfig(
+                reinforcement_jitter=0.05,
+                exploratory_interval=10.0,
+                interest_interval=10.0,
+                gradient_timeout=30.0,
+                interest_jitter=0.1,
+            )
+        )
+        total = n_sinks + n_sources + 1
+        nodes, apis = {}, {}
+        for i in range(total):
+            nodes[i] = DiffusionNode(sim, i, net.add_node(i), config=config)
+            apis[i] = DiffusionRouting(nodes[i])
+        hub = total - 1
+        for i in range(total - 1):
+            net.connect(i, hub)
+        received = []
+        for sink in range(n_sinks):
+            apis[sink].subscribe(sub_attrs(), lambda a, m: received.append(a))
+        for source_index in range(n_sources):
+            source = n_sinks + source_index
+            pub = apis[source].publish(pub_attrs())
+            for i in range(10):
+                sim.schedule(1.0 + i * 10.0, apis[source].send, pub, sample(i))
+        sim.run(until=duration)
+        bytes_total = sum(n.stats.bytes_sent for n in nodes.values())
+        return bytes_total, len(received)
+
+    def test_pull_silent_without_sinks_push_keeps_advertising(self):
+        # With no subscribers anywhere, pull sources never transmit
+        # (sends are dropped for lack of demand) while push sources
+        # keep paying for advertisement floods — pull's key advantage.
+        pull_bytes, pull_rx = self._run(False, n_sinks=0, n_sources=6)
+        push_bytes, push_rx = self._run(True, n_sinks=0, n_sources=6)
+        assert pull_rx == 0 and push_rx == 0
+        assert pull_bytes == 0
+        assert push_bytes > 0
+
+    def test_push_cheaper_with_many_sinks_one_source(self):
+        pull_bytes, pull_rx = self._run(False, n_sinks=6, n_sources=1)
+        push_bytes, push_rx = self._run(True, n_sinks=6, n_sources=1)
+        assert pull_rx > 0 and push_rx > 0
+        # Six sinks re-flooding interests every 10 s dwarf one source's
+        # advertisements: pull costs more here.
+        assert pull_bytes > push_bytes

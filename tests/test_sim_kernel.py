@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for label in ("first", "second", "third"):
+        sim.schedule(5.0, fired.append, label)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_run_until_horizon_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "at-horizon")
+    sim.schedule(10.5, fired.append, "beyond")
+    sim.run(until=10.0)
+    assert fired == ["at-horizon"]
+    assert sim.now == 10.0
+    sim.run(until=11.0)
+    assert fired == ["at-horizon", "beyond"]
+
+
+def test_run_until_advances_clock_when_queue_empty():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.schedule(2.0, fired.append, "y")
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_schedule_from_within_event():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_zero_delay_allowed_negative_rejected():
+    sim = Simulator()
+    sim.schedule(0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(7.0, fired.append, "abs")
+    sim.run()
+    assert fired == ["abs"]
+    assert sim.now == 7.0
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_stop_halts_loop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, "never")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 2.0
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    sim.run(max_events=4)
+    assert sim.events_processed == 4
+
+
+def test_pending_counts_uncancelled():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    e1.cancel()
+    assert sim.pending == 1
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
