@@ -21,6 +21,8 @@ from repro.naming.keys import Key
 from repro.sim import Simulator
 from repro.testbed import IdealNetwork
 
+pytestmark = pytest.mark.slow
+
 COUNTING_DELAY = 0.5
 EVENTS = 40
 

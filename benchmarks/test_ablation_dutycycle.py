@@ -6,77 +6,34 @@ could not measure this ("we are currently experimenting with
 power-aware MAC approaches"); this bench runs the measurement its
 analysis predicts: the same surveillance workload over always-on CSMA
 vs duty-cycled CSMA, reporting delivery and total radio energy.
-"""
 
-import random
+The workload lives in :mod:`repro.campaign.builtin`
+(``dutycycle_trial``) and runs here through the campaign subsystem,
+the same path ``python -m repro campaign run ablation-dutycycle``
+takes.
+"""
 
 import pytest
 
-from repro import AttributeVector, Key
-from repro.energy import EnergyLedger
-from repro.link import FragmentationLayer
-from repro.mac import CsmaMac, DutyCycledCsmaMac
-from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting
-from repro.radio import Channel, DistancePropagation, Modem, Topology
-from repro.sim import SeedSequence, Simulator, TraceBus
+from repro.campaign import run_campaign
+from repro.campaign.builtin import dutycycle_campaign, dutycycle_trial
+
+pytestmark = pytest.mark.slow
 
 DURATION = 600.0
 
 
 def run_workload(duty_cycle: float, seed: int = 5):
-    """A 4-hop line pushing one event every 6 s, like the Fig 8 source."""
-    topology = Topology.line(5, spacing=15.0)
-    sim = Simulator()
-    seeds = SeedSequence(seed)
-    trace = TraceBus()
-    channel = Channel(sim, DistancePropagation(topology, seed=seed),
-                      seeds=seeds, trace=trace)
-    apis, ledgers = {}, {}
-    for node_id in topology.node_ids():
-        ledger = EnergyLedger()
-        ledgers[node_id] = ledger
-        modem = Modem(sim, channel, node_id, energy=ledger)
-        if duty_cycle >= 1.0:
-            mac = CsmaMac(sim, modem, rng=seeds.stream(f"mac:{node_id}"))
-        else:
-            mac = DutyCycledCsmaMac(
-                sim, modem, duty_cycle=duty_cycle, period=1.0,
-                rng=seeds.stream(f"mac:{node_id}"),
-            )
-            ledger.duty_cycle = duty_cycle
-        frag = FragmentationLayer(sim, mac, node_id)
-        node = DiffusionNode(sim, node_id, frag,
-                             config=DiffusionConfig(), trace=trace,
-                             rng=seeds.stream(f"diff:{node_id}"))
-        apis[node_id] = DiffusionRouting(node)
-
-    received = []
-    sub = AttributeVector.builder().eq(Key.TYPE, "det").build()
-    apis[0].subscribe(sub, lambda a, m: received.append(a))
-    pub = apis[4].publish(
-        AttributeVector.builder().actual(Key.TYPE, "det").build()
+    return dutycycle_trial(
+        {"duty_cycle": duty_cycle, "duration": DURATION}, seed=seed
     )
-    sent = 0
-    t = 5.0
-    while t < DURATION:
-        sim.schedule(
-            t, apis[4].send, pub,
-            AttributeVector.builder().actual(Key.SEQUENCE, sent).build(),
-        )
-        sent += 1
-        t += 6.0
-    sim.run(until=DURATION)
-    energy = sum(l.energy(elapsed=DURATION) for l in ledgers.values())
-    return {
-        "duty_cycle": duty_cycle,
-        "delivery": len(received) / sent,
-        "energy": energy,
-    }
 
 
 @pytest.fixture(scope="module")
 def sweep():
-    return [run_workload(d) for d in (1.0, 0.5, 0.2, 0.1)]
+    report = run_campaign(dutycycle_campaign())
+    assert report.ok
+    return [outcome.result for outcome in report.outcomes]
 
 
 def test_duty_cycle_sweep(benchmark, sweep):

@@ -15,6 +15,8 @@ from repro.radio import Topology
 from repro.sim import Simulator
 from repro.testbed import IdealNetwork
 
+pytestmark = pytest.mark.slow
+
 GRID = 6  # 6x6 = 36 nodes
 SPACING = 10.0
 

@@ -20,6 +20,8 @@ from repro.testbed.isi import (
     isi_testbed_topology,
 )
 
+pytestmark = pytest.mark.slow
+
 DURATION = 900.0
 
 

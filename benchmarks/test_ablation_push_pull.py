@@ -5,74 +5,49 @@ the query-response usage the paper evaluates.  Push mode (sources
 advertise, passive sinks reinforce) trades interest-refresh traffic for
 advertisement floods; this bench measures the crossover on a hub
 topology as the sink:source ratio varies.
+
+The workload lives in :mod:`repro.campaign.builtin`
+(``pushpull_trial``) and runs here through the campaign subsystem, the
+same path ``python -m repro campaign run ablation-push-pull`` takes.
 """
 
 import pytest
 
-from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting
-from repro.naming import AttributeVector
-from repro.naming.keys import Key
-from repro.sim import Simulator
-from repro.testbed import IdealNetwork
+from repro.campaign import run_campaign
+from repro.campaign.builtin import pushpull_campaign, pushpull_trial
+
+pytestmark = pytest.mark.slow
 
 DURATION = 300.0
 
-SUB = AttributeVector.builder().eq(Key.TYPE, "t").build()
-PUB = AttributeVector.builder().actual(Key.TYPE, "t").build()
+SHAPES = [(1, 6), (3, 3), (6, 1), (0, 6)]
 
 
 def run(push: bool, n_sinks: int, n_sources: int):
-    sim = Simulator()
-    net = IdealNetwork(sim, delay=0.01)
-    config = DiffusionConfig(
-        push_mode=push,
-        reinforcement_jitter=0.05,
-        exploratory_interval=20.0,
-        interest_interval=20.0,
-        gradient_timeout=60.0,
-        interest_jitter=0.1,
+    return pushpull_trial(
+        {"push": push, "shape": f"{n_sinks}x{n_sources}", "duration": DURATION},
+        seed=0,
     )
-    total = n_sinks + n_sources + 1
-    nodes, apis = {}, {}
-    for i in range(total):
-        nodes[i] = DiffusionNode(sim, i, net.add_node(i), config=config)
-        apis[i] = DiffusionRouting(nodes[i])
-    hub = total - 1
-    for i in range(total - 1):
-        net.connect(i, hub)
-    received = []
-    for sink in range(n_sinks):
-        apis[sink].subscribe(SUB, lambda a, m: received.append(a))
-    for s in range(n_sources):
-        source = n_sinks + s
-        pub = apis[source].publish(PUB)
-        for i in range(int(DURATION // 10)):
-            sim.schedule(
-                1.0 + i * 10.0, apis[source].send, pub,
-                AttributeVector.builder().actual(Key.SEQUENCE, i).build(),
-            )
-    sim.run(until=DURATION)
-    return {
-        "bytes": sum(n.stats.bytes_sent for n in nodes.values()),
-        "received": len(received),
-    }
 
 
 @pytest.fixture(scope="module")
 def grid():
-    shapes = [(1, 6), (3, 3), (6, 1), (0, 6)]
-    return {
-        (push, sinks, sources): run(push, sinks, sources)
-        for push in (False, True)
-        for sinks, sources in shapes
-    }
+    report = run_campaign(pushpull_campaign())
+    assert report.ok
+    results = {}
+    for outcome in report.outcomes:
+        sinks, sources = (
+            int(part) for part in outcome.spec.params["shape"].split("x")
+        )
+        results[(outcome.spec.params["push"], sinks, sources)] = outcome.result
+    return results
 
 
 def test_push_pull_sweep(benchmark, grid):
     benchmark.pedantic(run, args=(True, 3, 3), rounds=1, iterations=1)
     print()
     print(f"{'sinks':>6} {'sources':>8} {'pull bytes':>11} {'push bytes':>11}")
-    for sinks, sources in [(1, 6), (3, 3), (6, 1), (0, 6)]:
+    for sinks, sources in SHAPES:
         pull = grid[(False, sinks, sources)]
         push = grid[(True, sinks, sources)]
         print(f"{sinks:>6} {sources:>8} {pull['bytes']:>11} {push['bytes']:>11}")

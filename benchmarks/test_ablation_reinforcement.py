@@ -13,6 +13,8 @@ from repro.apps import SurveillanceExperiment
 from repro.core import DiffusionConfig
 from repro.testbed import FIG8_SINK, FIG8_SOURCES, isi_testbed_network
 
+pytestmark = pytest.mark.slow
+
 DURATION = 900.0
 
 

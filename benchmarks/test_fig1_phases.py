@@ -12,6 +12,8 @@ from repro import AttributeVector, Key, MessageType
 from repro.radio import Topology
 from repro.testbed import SensorNetwork
 
+pytestmark = pytest.mark.slow
+
 
 def run_cycle():
     net = SensorNetwork(Topology.line(5, spacing=15.0), seed=3)

@@ -19,6 +19,8 @@ from repro.experiments.fig8_aggregation import (
     savings_at,
 )
 
+pytestmark = pytest.mark.slow
+
 TRIALS = 5
 DURATION = 1800.0
 

@@ -18,6 +18,8 @@ from repro.experiments.fig9_nested import (
     run_fig9,
 )
 
+pytestmark = pytest.mark.slow
+
 TRIALS = 3
 DURATION = 1200.0
 LIGHT_COUNTS = (1, 2, 3, 4)

@@ -12,93 +12,33 @@ This bench reruns that scenario on our protocol implementation — a
 49-node grid, five sources, five sinks, exploratory:data 1:100 — and
 checks that the savings factor lands in the cited 3-5x band, closing
 the loop on the paper's own explanation of its Figure 8 numbers.
+
+The workload lives in :mod:`repro.campaign.builtin` (``scale_trial``)
+and runs here through the campaign subsystem, the same path
+``python -m repro campaign run scale-aggregation`` takes.
 """
 
 import pytest
 
-from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting
-from repro.filters import SuppressionFilter
-from repro.naming import AttributeVector
-from repro.naming.keys import Key
-from repro.sim import Simulator
-from repro.testbed import IdealNetwork
+from repro.campaign import run_campaign
+from repro.campaign.builtin import scale_campaign, scale_trial
 
-GRID = 7            # 49 nodes, the low end of the cited 50-250 range
+pytestmark = pytest.mark.slow
+
 DURATION = 300.0
-DATA_INTERVAL = 0.5     # "data every 0.5s" in the simulation study
-EXPLORATORY = 50.0      # "exploratory messages were sent every 50s"
 
 
 def run_scale_trial(suppression: bool):
-    sim = Simulator()
-    net = IdealNetwork(sim, delay=0.005)
-    config = DiffusionConfig(
-        interest_interval=50.0,
-        gradient_timeout=120.0,
-        interest_jitter=1.0,
-        exploratory_interval=EXPLORATORY,
-        reinforcement_jitter=0.2,
-    )
-    total = GRID * GRID
-    nodes, apis = {}, {}
-    match = AttributeVector.builder().eq(Key.TYPE, "det").build()
-    for i in range(total):
-        nodes[i] = DiffusionNode(sim, i, net.add_node(i), config=config)
-        apis[i] = DiffusionRouting(nodes[i])
-        if suppression:
-            SuppressionFilter(nodes[i], match_attrs=match)
-    for i in range(total):
-        if i % GRID < GRID - 1:
-            net.connect(i, i + 1)
-        if i < total - GRID:
-            net.connect(i, i + GRID)
-    sinks = [k * GRID for k in range(5)]             # left edge
-    sources = [(k + 1) * GRID - 1 for k in range(5)]  # right edge
-    received = {sink: set() for sink in sinks}
-    sub = (
-        AttributeVector.builder()
-        .eq(Key.TYPE, "det")
-        .actual(Key.INTERVAL, int(DATA_INTERVAL * 1000))
-        .build()
-    )
-    for sink in sinks:
-        apis[sink].subscribe(
-            sub,
-            lambda attrs, msg, k=sink: received[k].add(
-                attrs.value_of(Key.SEQUENCE)
-            ),
-        )
-    pubs = {
-        src: apis[src].publish(
-            AttributeVector.builder().actual(Key.TYPE, "det").build()
-        )
-        for src in sources
-    }
-    count = int((DURATION - 5.0) / DATA_INTERVAL)
-    for seq in range(count):
-        when = 5.0 + seq * DATA_INTERVAL
-        for src in sources:
-            sim.schedule(
-                when, apis[src].send, pubs[src],
-                AttributeVector.builder().actual(Key.SEQUENCE, seq).build(),
-                80,  # pad toward the study's 64-127 B messages
-            )
-    sim.run(until=DURATION)
-    total_bytes = sum(node.stats.bytes_sent for node in nodes.values())
-    distinct = len(set().union(*received.values()))
-    return {
-        "bytes": total_bytes,
-        "distinct": distinct,
-        "generated": count,
-        "bytes_per_event": total_bytes / max(1, distinct),
-    }
+    return scale_trial({"suppression": suppression, "duration": DURATION}, seed=0)
 
 
 @pytest.fixture(scope="module")
 def scale_results():
+    report = run_campaign(scale_campaign(duration=DURATION))
+    assert report.ok
     return {
-        suppression: run_scale_trial(suppression)
-        for suppression in (True, False)
+        outcome.spec.params["suppression"]: outcome.result
+        for outcome in report.outcomes
     }
 
 

@@ -14,6 +14,8 @@ import pytest
 from repro.testbed import isi_testbed_network
 from repro.transfer import BlockReceiver, BlockSender, split_object
 
+pytestmark = pytest.mark.slow
+
 SENDER = 25
 RECEIVER = 39
 OBJECT_BYTES = 2048

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the fast test suite plus a single-process campaign
+# smoke run (exercises the CLI, the worker pool's serial path, the
+# content-addressed store, and cache-hit resume end to end).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q -m "not slow"
+
+store="$(mktemp -d)"
+trap 'rm -rf "$store"' EXIT
+python -m repro campaign run scale-aggregation --quick --jobs 1 --store "$store"
+# An immediate re-run must be served entirely from cache.
+python -m repro campaign run scale-aggregation --quick --jobs 1 --store "$store" \
+    | grep -q "cached=2" || { echo "campaign cache miss on re-run" >&2; exit 1; }
+echo "tier-1 OK"

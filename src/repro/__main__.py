@@ -2,7 +2,8 @@
 
 Usage::
 
-    python -m repro experiments [--quick] [--only fig8]
+    python -m repro experiments [--quick] [--only fig8] [--jobs 4]
+    python -m repro campaign run scale-aggregation --jobs 4
     python -m repro example quickstart
     python -m repro info
 """
@@ -46,8 +47,18 @@ def main(argv=None) -> int:
     exp = sub.add_parser("experiments", help="regenerate the paper's figures")
     exp.add_argument("--quick", action="store_true")
     exp.add_argument(
-        "--only", choices=["fig8", "fig9", "fig11", "duty", "model", "micro"]
+        "--only",
+        action="append",
+        choices=["fig8", "fig9", "fig11", "duty", "model", "micro"],
     )
+    exp.add_argument("--jobs", type=int, default=1)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run/status/clean parameter-sweep campaigns",
+        add_help=False,
+    )
+    camp.add_argument("args", nargs=argparse.REMAINDER)
 
     ex = sub.add_parser("example", help="run a narrated example")
     ex.add_argument("name", choices=sorted(EXAMPLES))
@@ -61,9 +72,15 @@ def main(argv=None) -> int:
         runner_args = []
         if args.quick:
             runner_args.append("--quick")
-        if args.only:
-            runner_args.extend(["--only", args.only])
+        for only in args.only or ():
+            runner_args.extend(["--only", only])
+        if args.jobs != 1:
+            runner_args.extend(["--jobs", str(args.jobs)])
         return runner_main(runner_args)
+    if args.command == "campaign":
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(args.args)
     if args.command == "example":
         script = _examples_dir() / EXAMPLES[args.name]
         if not script.exists():
@@ -76,7 +93,7 @@ def main(argv=None) -> int:
         print(__doc__)
         print("subpackages: naming, core, filters, micro, transfer, apps,")
         print("             sim, radio, mac, link, energy, testbed,")
-        print("             analysis, experiments")
+        print("             analysis, experiments, campaign")
         return 0
     parser.print_help()
     return 2

@@ -5,7 +5,13 @@ from repro.analysis.stats import ConfidenceInterval, mean_ci
 from repro.analysis.metrics import DeliveryRecorder, TrafficMeter
 from repro.analysis.traffic_model import TrafficModel, TrafficBreakdown
 from repro.analysis.charts import bar_chart, line_chart
-from repro.analysis.tracelog import TraceLogger, load_trace, summarize_trace
+from repro.analysis.tracelog import (
+    CampaignSummary,
+    TraceLogger,
+    load_trace,
+    summarize_campaign,
+    summarize_trace,
+)
 
 __all__ = [
     "ConfidenceInterval",
@@ -19,4 +25,6 @@ __all__ = [
     "TraceLogger",
     "load_trace",
     "summarize_trace",
+    "CampaignSummary",
+    "summarize_campaign",
 ]

@@ -111,6 +111,49 @@ class TraceSummary:
         return self.last_time - self.first_time
 
 
+@dataclass
+class CampaignSummary:
+    """Campaign-level statistics derived from a ``campaign.*`` JSONL log."""
+
+    trials: int = 0
+    done: int = 0
+    failed: int = 0
+    cached: int = 0
+    wall_time: float = 0.0
+    cpu_time: float = 0.0
+    interrupted: bool = False
+    trial_seconds: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def executed(self) -> int:
+        return self.done + self.failed
+
+
+def summarize_campaign(records: Iterable[TraceRecord]) -> CampaignSummary:
+    """Fold a :mod:`repro.campaign` progress log (read back through
+    :func:`load_trace`) into run-level statistics."""
+    summary = CampaignSummary()
+    for record in records:
+        if record.category == "campaign.begin":
+            summary.trials = record.data.get("total", 0)
+        elif record.category == "campaign.trial":
+            status = record.data.get("status")
+            if status == "done":
+                summary.done += 1
+            elif status == "cached":
+                summary.cached += 1
+            else:
+                summary.failed += 1
+            index = record.data.get("index")
+            if index is not None:
+                summary.trial_seconds[index] = record.data.get("elapsed", 0.0)
+        elif record.category == "campaign.end":
+            summary.wall_time = record.data.get("wall_time", record.time)
+            summary.cpu_time = record.data.get("cpu_time", 0.0)
+            summary.interrupted = bool(record.data.get("interrupted"))
+    return summary
+
+
 def summarize_trace(records: Iterable[TraceRecord]) -> TraceSummary:
     """The offline analysis Section 7 wished for: per-node traffic and
     collision hot spots from a recorded run."""

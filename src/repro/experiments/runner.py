@@ -4,7 +4,13 @@ Usage::
 
     python -m repro.experiments.runner            # full paper scale
     python -m repro.experiments.runner --quick    # reduced trials/durations
+    python -m repro.experiments.runner --jobs 4   # sections in parallel
     python -m repro.experiments.runner --output report.md
+
+With ``--jobs N`` the experiment sections are dispatched through the
+:mod:`repro.campaign` worker pool and run in separate processes;
+``--jobs 1`` (the default) preserves the original serial in-process
+behaviour.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import contextlib
 import io
 import sys
 import time
-from typing import Callable, List, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.experiments import (
     fig8_aggregation,
@@ -25,6 +31,8 @@ from repro.experiments import (
 from repro.micro import MicroConfig
 from repro.micro.footprint import footprint_report
 from repro.analysis import TrafficModel
+
+EXPERIMENT_ORDER = ("fig8", "fig9", "fig11", "duty", "model", "micro")
 
 
 def run_traffic_model() -> None:
@@ -49,7 +57,46 @@ def run_micro_footprint() -> None:
         print(f"   {key}: {value}")
 
 
-def main(argv: List[str] = None) -> int:
+def _experiment_callable(name: str, quick: bool) -> Callable[[], None]:
+    if quick:
+        fig8_kwargs = {"trials": 2, "duration": 600.0}
+        fig9_kwargs = {"trials": 2, "duration": 600.0}
+        fig11_kwargs = {"iterations": 500}
+    else:
+        fig8_kwargs = {"trials": 5, "duration": 1800.0}
+        fig9_kwargs = {"trials": 3, "duration": 1200.0}
+        fig11_kwargs = {"iterations": 2000}
+    table: Dict[str, Callable[[], None]] = {
+        "fig8": lambda: fig8_aggregation.main(**fig8_kwargs),
+        "fig9": lambda: fig9_nested.main(**fig9_kwargs),
+        "fig11": lambda: fig11_matching.main(**fig11_kwargs),
+        "duty": duty_cycle.main,
+        "model": run_traffic_model,
+        "micro": run_micro_footprint,
+    }
+    return table[name]
+
+
+def _run_experiment_captured(name: str, quick: bool) -> str:
+    """One experiment section, stdout captured, timing line included."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        print("=" * 72)
+        print(f"[{name}]")
+        start = time.time()
+        _experiment_callable(name, quick)()
+        print(f"({name} took {time.time() - start:.1f}s)")
+        print()
+    return buffer.getvalue()
+
+
+def _experiment_trial(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Campaign trial wrapper: one section per worker process."""
+    name = params["name"]
+    return {"name": name, "text": _run_experiment_captured(name, params["quick"])}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick",
@@ -58,8 +105,15 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--only",
-        choices=["fig8", "fig9", "fig11", "duty", "model", "micro"],
-        help="run a single experiment",
+        action="append",
+        choices=list(EXPERIMENT_ORDER),
+        help="run a single experiment (repeatable)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run experiment sections across N worker processes",
     )
     parser.add_argument(
         "--output",
@@ -67,38 +121,19 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.quick:
-        fig8_kwargs = {"trials": 2, "duration": 600.0}
-        fig9_kwargs = {"trials": 2, "duration": 600.0}
-        fig11_kwargs = {"iterations": 500}
-    else:
-        fig8_kwargs = {"trials": 5, "duration": 1800.0}
-        fig9_kwargs = {"trials": 3, "duration": 1200.0}
-        fig11_kwargs = {"iterations": 2000}
-
-    experiments: List[Tuple[str, Callable[[], None]]] = [
-        ("fig8", lambda: fig8_aggregation.main(**fig8_kwargs)),
-        ("fig9", lambda: fig9_nested.main(**fig9_kwargs)),
-        ("fig11", lambda: fig11_matching.main(**fig11_kwargs)),
-        ("duty", duty_cycle.main),
-        ("model", run_traffic_model),
-        ("micro", run_micro_footprint),
+    selected = [
+        name for name in EXPERIMENT_ORDER
+        if not args.only or name in args.only
     ]
-    captured: List[str] = []
-    for name, runner in experiments:
-        if args.only and name != args.only:
-            continue
-        buffer = io.StringIO()
-        with contextlib.redirect_stdout(buffer):
-            print("=" * 72)
-            print(f"[{name}]")
-            start = time.time()
-            runner()
-            print(f"({name} took {time.time() - start:.1f}s)")
-            print()
-        text = buffer.getvalue()
+
+    if args.jobs > 1 and len(selected) > 1:
+        captured = _run_parallel(selected, args.quick, args.jobs)
+    else:
+        captured = []
+        for name in selected:
+            captured.append(_run_experiment_captured(name, args.quick))
+    for text in captured:
         sys.stdout.write(text)
-        captured.append(text)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("# Experiment report\n\n```text\n")
@@ -106,6 +141,33 @@ def main(argv: List[str] = None) -> int:
             handle.write("```\n")
         print(f"report written to {args.output}")
     return 0
+
+
+def _run_parallel(selected: List[str], quick: bool, jobs: int) -> List[str]:
+    from repro.campaign import Campaign, run_campaign
+
+    campaign = Campaign(
+        name="experiments",
+        trial="repro.experiments.runner:_experiment_trial",
+        grid={"name": selected},
+        fixed={"quick": quick},
+        description="the EXPERIMENTS.md report, one section per trial",
+    )
+    report = run_campaign(campaign, jobs=jobs)
+    by_name = {
+        outcome.result["name"]: outcome.result["text"]
+        for outcome in report.outcomes
+        if outcome.ok
+    }
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            by_name[outcome.spec.params["name"]] = (
+                "=" * 72
+                + f"\n[{outcome.spec.params['name']}] FAILED\n"
+                + (outcome.error or "")
+                + "\n"
+            )
+    return [by_name[name] for name in selected if name in by_name]
 
 
 if __name__ == "__main__":

@@ -7,7 +7,7 @@ timers, and a trace bus for experiment instrumentation.
 """
 
 from repro.sim.kernel import Event, Simulator, SimulationError
-from repro.sim.rng import SeedSequence, make_rng
+from repro.sim.rng import SeedSequence, derive_seed, make_rng
 from repro.sim.trace import TraceBus, TraceRecord
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "Simulator",
     "SimulationError",
     "SeedSequence",
+    "derive_seed",
     "make_rng",
     "TraceBus",
     "TraceRecord",

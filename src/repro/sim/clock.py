@@ -11,8 +11,15 @@ solution.
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Optional
+
+from repro.sim.rng import make_rng
+
+# Default-constructed clocks get a distinct stream each, numbered in
+# construction order (deterministic for a deterministic program).
+_default_clock_ids = itertools.count()
 
 
 class NodeClock:
@@ -20,7 +27,9 @@ class NodeClock:
 
     ``drift_ppm`` is parts-per-million frequency error (crystal spec);
     ``read_jitter`` models timestamping noise (interrupt latency), drawn
-    fresh per read.
+    fresh per read.  Pass ``rng`` (a dedicated stream) or ``seed`` for a
+    reproducible jitter stream; by default each clock gets its own
+    stream rather than all sharing one.
     """
 
     def __init__(
@@ -29,13 +38,19 @@ class NodeClock:
         drift_ppm: float = 0.0,
         read_jitter: float = 0.0,
         rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
     ) -> None:
         if read_jitter < 0:
             raise ValueError("read_jitter must be non-negative")
         self.offset = offset
         self.drift_ppm = drift_ppm
         self.read_jitter = read_jitter
-        self.rng = rng or random.Random(0)
+        if rng is not None:
+            self.rng = rng
+        elif seed is not None:
+            self.rng = make_rng(seed, "nodeclock")
+        else:
+            self.rng = make_rng(next(_default_clock_ids), "nodeclock")
         self.adjustments = 0
 
     @property

@@ -13,9 +13,13 @@ import random
 from typing import Union
 
 
-def _derive_seed(root_seed: int, label: str) -> int:
+def derive_seed(root_seed: int, label: str) -> int:
+    """The seed an RNG stream named ``label`` would be built from."""
     digest = hashlib.sha256(f"{root_seed}:{label}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+_derive_seed = derive_seed  # historical private name
 
 
 def make_rng(root_seed: int, label: str) -> random.Random:

@@ -1,0 +1,384 @@
+"""Tests for the campaign subsystem: specs, store, pool, resume, CLI.
+
+Trial functions used by the pool tests live at module level so worker
+processes can resolve them by ``tests.test_campaign:<name>`` path.
+Cross-process state (crash-once markers, interrupt limits) goes through
+the filesystem, never through pickled closures.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_trace, summarize_campaign
+from repro.campaign import (
+    Campaign,
+    CampaignProgress,
+    ResultStore,
+    aggregate,
+    canonical_json,
+    format_pivot,
+    format_table,
+    pivot,
+    run_campaign,
+    trial_key,
+)
+from repro.campaign.builtin import demo_campaign, demo_trial, get_campaign
+from repro.campaign.spec import code_version
+from repro.sim import TraceBus
+from repro.sim.rng import make_rng
+
+
+# ---------------------------------------------------------------------------
+# trial functions resolvable from worker processes
+
+
+def recording_trial(params, seed):
+    """Deterministic result; leaves a ran-marker per execution."""
+    directory = Path(params["dir"])
+    marker = directory / f"ran-{params['x']}"
+    marker.write_text(str(int(marker.read_text() or 0) + 1 if marker.exists() else 1))
+    rng = make_rng(seed, "recording")
+    return {"x": params["x"], "value": params["x"] + rng.random()}
+
+
+def interruptible_trial(params, seed):
+    """Like recording_trial, but simulates Ctrl-C once the on-disk
+    execution budget (``<dir>/limit``) is exhausted."""
+    directory = Path(params["dir"])
+    limit_file = directory / "limit"
+    limit = int(limit_file.read_text()) if limit_file.exists() else 10**9
+    if len(list(directory.glob("ran-*"))) >= limit:
+        raise KeyboardInterrupt
+    return recording_trial(params, seed)
+
+
+def crash_once_trial(params, seed):
+    """Kills its worker process on first execution, succeeds after."""
+    directory = Path(params["dir"])
+    marker = directory / f"crashed-{params['x']}"
+    if not marker.exists():
+        marker.write_text("")
+        os._exit(17)
+    return {"x": params["x"], "seed": seed}
+
+
+def fail_once_trial(params, seed):
+    directory = Path(params["dir"])
+    marker = directory / f"failed-{params['x']}"
+    if not marker.exists():
+        marker.write_text("")
+        raise RuntimeError("first attempt fails")
+    return {"x": params["x"]}
+
+
+def _campaign(trial, tmp_path, name="t", grid=None, fixed=None, **kwargs):
+    fixed = dict(fixed or {})
+    fixed["dir"] = str(tmp_path)
+    return Campaign(
+        name=name,
+        trial=f"tests.test_campaign:{trial}",
+        grid=grid or {"x": [1, 2, 3, 4]},
+        fixed=fixed,
+        **kwargs,
+    )
+
+
+def _executions(tmp_path):
+    return sum(
+        int(marker.read_text()) for marker in Path(tmp_path).glob("ran-*")
+    )
+
+
+# ---------------------------------------------------------------------------
+# spec expansion and trial keys
+
+
+class TestSpec:
+    def test_expansion_is_deterministic(self):
+        a = demo_campaign().expand()
+        b = demo_campaign().expand()
+        assert [s.key for s in a] == [s.key for s in b]
+        assert [s.seed for s in a] == [s.seed for s in b]
+        assert [s.index for s in a] == list(range(len(a)))
+
+    def test_replicates_fan_out_distinct_seeds(self):
+        campaign = demo_campaign()
+        specs = campaign.expand()
+        by_point = {}
+        for spec in specs:
+            by_point.setdefault(spec.params["x"], []).append(spec.seed)
+        for seeds in by_point.values():
+            assert len(seeds) == campaign.replicates
+            assert len(set(seeds)) == len(seeds)
+
+    def test_explicit_seeds_pinned(self, tmp_path):
+        campaign = _campaign("recording_trial", tmp_path, seeds=[100, 101])
+        specs = campaign.expand()
+        assert sorted({s.seed for s in specs}) == [100, 101]
+
+    def test_root_seed_changes_derived_seeds_and_keys(self):
+        a = demo_campaign(root_seed=1).expand()
+        b = demo_campaign(root_seed=2).expand()
+        assert [s.seed for s in a] != [s.seed for s in b]
+        assert {s.key for s in a}.isdisjoint({s.key for s in b})
+
+    def test_key_sensitive_to_config_seed_and_code(self):
+        version = code_version("repro.campaign.builtin:demo_trial")
+        base = trial_key("c", "t", {"x": 1}, 7, version)
+        assert trial_key("c", "t", {"x": 2}, 7, version) != base
+        assert trial_key("c", "t", {"x": 1}, 8, version) != base
+        assert trial_key("c", "t", {"x": 1}, 7, "deadbeef") != base
+        # key order in the params dict must not matter
+        assert trial_key("c", "t", {"a": 1, "b": 2}, 7, version) == trial_key(
+            "c", "t", {"b": 2, "a": 1}, 7, version
+        )
+
+    def test_rejects_overlapping_fixed_and_grid(self):
+        with pytest.raises(ValueError):
+            Campaign(name="x", trial="m:f", grid={"a": [1]}, fixed={"a": 2})
+
+    def test_spec_run_executes_in_process(self):
+        spec = demo_campaign().expand()[0]
+        result = spec.run()
+        assert result == demo_trial(dict(spec.params), spec.seed)
+
+
+# ---------------------------------------------------------------------------
+# result store
+
+
+class TestStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = demo_campaign().expand()[0]
+        assert spec.key not in store
+        store.put(spec, {"value": 1.5}, meta={"elapsed": 0.1})
+        assert spec.key in store
+        payload = store.get(spec.key)
+        assert payload["result"] == {"value": 1.5}
+        assert payload["params"] == dict(spec.params)
+        assert payload["meta"]["elapsed"] == 0.1
+        assert store.stats()["entries"] == 1
+        assert list(store.keys()) == [spec.key]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = demo_campaign().expand()[0]
+        path = store.put(spec, {"v": 1})
+        path.write_text("{not json")
+        assert store.get(spec.key) is None
+
+    def test_clean_removes_selected_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = demo_campaign().expand()
+        for spec in specs:
+            store.put(spec, {"v": spec.index})
+        assert store.clean([specs[0].key]) == 1
+        assert specs[0].key not in store
+        assert store.clean() == len(specs) - 1
+        assert store.stats()["entries"] == 0
+
+    def test_no_temp_file_litter(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for spec in demo_campaign().expand():
+            store.put(spec, {"v": 1})
+        assert not list(Path(tmp_path).rglob("*.tmp"))
+
+
+# ---------------------------------------------------------------------------
+# serial execution, caching, resume
+
+
+class TestSerialRuns:
+    def test_run_and_full_cache_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        campaign = _campaign("recording_trial", tmp_path)
+        first = run_campaign(campaign, store=store)
+        assert first.ok and first.done == 4 and first.cached == 0
+        assert _executions(tmp_path) == 4
+
+        second = run_campaign(campaign, store=store)
+        assert second.ok and second.done == 0 and second.cached == 4
+        assert _executions(tmp_path) == 4  # nothing re-executed
+        assert [o.result for o in second.outcomes] == [
+            o.result for o in first.outcomes
+        ]
+
+    def test_force_reruns_everything(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        campaign = _campaign("recording_trial", tmp_path)
+        run_campaign(campaign, store=store)
+        report = run_campaign(campaign, store=store, force=True)
+        assert report.done == 4 and report.cached == 0
+
+    def test_interrupt_then_resume_serves_cache(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        campaign = _campaign("interruptible_trial", tmp_path)
+        (tmp_path / "limit").write_text("2")
+
+        first = run_campaign(campaign, store=store)
+        assert first.interrupted
+        assert first.done == 2 and first.pending == 2
+        completed = [o.spec.key for o in first.outcomes if o.ok]
+        stored_bytes = {key: store.get_bytes(key) for key in completed}
+
+        (tmp_path / "limit").write_text("1000000")
+        second = run_campaign(campaign, store=store)
+        assert not second.interrupted and second.ok
+        assert second.cached == 2 and second.done == 2
+        # cached trials were served byte-identically, not rewritten
+        for key, raw in stored_bytes.items():
+            assert store.get_bytes(key) == raw
+        # and only the pending trials executed
+        assert _executions(tmp_path) == 4
+
+    def test_max_trials_partial_run(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        campaign = _campaign("recording_trial", tmp_path)
+        first = run_campaign(campaign, store=store, max_trials=3)
+        assert first.done == 3 and first.pending == 1
+        second = run_campaign(campaign, store=store)
+        assert second.cached == 3 and second.done == 1
+
+    def test_cache_invalidation_on_config_change(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        base = _campaign("recording_trial", tmp_path, fixed={"variant": 1})
+        run_campaign(base, store=store)
+        changed = _campaign("recording_trial", tmp_path, fixed={"variant": 2})
+        report = run_campaign(changed, store=store)
+        assert report.cached == 0 and report.done == 4
+        # both generations coexist in the content-addressed store
+        assert store.stats()["entries"] == 8
+
+    def test_cache_invalidation_on_code_version_change(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        campaign = _campaign("recording_trial", tmp_path)
+        run_campaign(campaign, store=store)
+        import repro
+
+        monkeypatch.setattr(repro, "__version__", "999.0.0-test")
+        report = run_campaign(campaign, store=store)
+        assert report.cached == 0 and report.done == 4
+
+    def test_failed_trial_retries_then_succeeds(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        campaign = _campaign("fail_once_trial", tmp_path, grid={"x": [1]})
+        report = run_campaign(campaign, store=store, retries=1)
+        assert report.ok
+        assert report.outcomes[0].attempts == 2
+
+    def test_failed_trial_exhausts_retries(self, tmp_path):
+        campaign = _campaign("fail_once_trial", tmp_path, grid={"x": [9]})
+        report = run_campaign(campaign, retries=0)
+        assert report.failed == 1 and not report.ok
+        assert "first attempt fails" in report.outcomes[0].error
+
+
+# ---------------------------------------------------------------------------
+# parallel execution
+
+
+class TestParallelRuns:
+    def test_results_identical_to_serial_any_jobs(self, tmp_path):
+        campaign = demo_campaign()
+        serial = run_campaign(campaign, jobs=1,
+                              store=ResultStore(tmp_path / "a"))
+        parallel = run_campaign(campaign, jobs=2,
+                                store=ResultStore(tmp_path / "b"))
+        assert serial.ok and parallel.ok
+        by_key_serial = {
+            o.spec.key: canonical_json(o.result) for o in serial.outcomes
+        }
+        by_key_parallel = {
+            o.spec.key: canonical_json(o.result) for o in parallel.outcomes
+        }
+        assert by_key_serial == by_key_parallel
+
+    def test_worker_crash_is_retried(self, tmp_path):
+        campaign = _campaign("crash_once_trial", tmp_path, grid={"x": [1]})
+        report = run_campaign(campaign, jobs=2, retries=2)
+        assert report.ok
+        assert report.outcomes[0].attempts >= 2
+
+    def test_worker_crash_exhausts_retries(self, tmp_path):
+        report = run_campaign(
+            _campaign("always_crash_trial", tmp_path, grid={"x": [1]}),
+            jobs=2,
+            retries=1,
+        )
+        assert report.failed == 1
+        assert "crashed" in report.outcomes[0].error
+
+    def test_timeout_is_enforced(self, tmp_path):
+        campaign = Campaign(
+            name="spin",
+            trial="repro.campaign.builtin:demo_trial",
+            grid={"spin": [0.0, 2.0]},
+        )
+        report = run_campaign(campaign, jobs=2, timeout=0.7)
+        statuses = {
+            o.spec.params["spin"]: o.status for o in report.outcomes
+        }
+        assert statuses[0.0] == "done"
+        assert statuses[2.0] == "timeout"
+
+
+def always_crash_trial(params, seed):
+    os._exit(21)
+
+
+# ---------------------------------------------------------------------------
+# progress, logging, aggregation
+
+
+class TestProgressAndAggregation:
+    def test_trace_records_and_jsonl_log(self, tmp_path):
+        log_path = tmp_path / "campaign.jsonl"
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("campaign.trial", seen.append)
+        progress = CampaignProgress("demo", trace=bus, log_path=log_path)
+        report = run_campaign(
+            demo_campaign(quick=True),
+            store=ResultStore(tmp_path / "store"),
+            progress=progress,
+        )
+        assert report.ok
+        assert len(seen) == len(report.outcomes)
+        records = load_trace(log_path)
+        summary = summarize_campaign(records)
+        assert summary.trials == len(report.outcomes)
+        assert summary.done == len(report.outcomes)
+        assert summary.failed == 0 and not summary.interrupted
+        # wall/CPU accounting made it into the log
+        assert summary.wall_time >= 0.0
+
+    def test_eta_and_snapshot(self):
+        progress = CampaignProgress("x")
+        progress.begin(4, jobs=2)
+        assert progress.eta() is None
+        snap = progress.snapshot()
+        assert snap["total"] == 4 and snap["pending"] == 4
+
+    def test_aggregate_mean_ci(self, tmp_path):
+        report = run_campaign(demo_campaign())
+        rows = aggregate(report.outcomes, "value", by=("x",))
+        assert [row.params["x"] for row in rows] == [1, 2, 3, 4]
+        assert all(row.n == 2 for row in rows)
+        table = format_table(rows, "value", title="demo")
+        assert "demo" in table and "±" in table
+
+    def test_pivot_table(self, tmp_path):
+        report = run_campaign(get_campaign("demo", quick=True))
+        table = pivot(report.outcomes, "value", row="x", col="x")
+        text = format_pivot(table, "x", title="pivot")
+        assert "pivot" in text
+
+    def test_report_counts(self, tmp_path):
+        campaign = _campaign("recording_trial", tmp_path, grid={"x": [1, 2]})
+        report = run_campaign(campaign)
+        assert report.done == 2
+        assert len(report.results()) == 2
+        assert report.wall_time >= 0.0

@@ -32,3 +32,58 @@ class TestCli:
         assert main(["example", "quickstart"]) == 0
         out = capsys.readouterr().out
         assert "after interest propagation" in out
+
+
+class TestCampaignCli:
+    def test_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "scale-aggregation" in out
+        assert "demo" in out
+
+    def test_run_then_cached_rerun(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(
+            ["campaign", "run", "demo", "--quick", "--store", store]
+        ) == 0
+        first = capsys.readouterr().out
+        assert "done=4" in first
+        assert "value by x" in first
+
+        assert main(
+            ["campaign", "run", "demo", "--quick", "--store", store]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "cached=4" in second
+        # identical aggregate table on a 100% cache hit
+        assert first.splitlines()[-2:] == second.splitlines()[-2:]
+
+    def test_status_and_clean(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        main(["campaign", "run", "demo", "--quick", "--store", store])
+        capsys.readouterr()
+        assert main(
+            ["campaign", "status", "demo", "--quick", "--store", store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 cached, 0 pending" in out
+        assert main(
+            ["campaign", "clean", "demo", "--quick", "--store", store]
+        ) == 0
+        assert "removed 4 entries" in capsys.readouterr().out
+
+    def test_run_writes_jsonl_log(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        log = tmp_path / "log.jsonl"
+        assert main(
+            ["campaign", "run", "demo", "--quick", "--store", store,
+             "--log", str(log)]
+        ) == 0
+        from repro.analysis import load_trace, summarize_campaign
+
+        summary = summarize_campaign(load_trace(log))
+        assert summary.trials == 4 and summary.done == 4
+
+    def test_unknown_subcommand_prints_help(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "usage" in capsys.readouterr().out.lower()

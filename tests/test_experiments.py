@@ -126,3 +126,21 @@ class TestRunner:
         out = capsys.readouterr().out
         assert "analytical traffic model" in out
         assert "footprint" in out
+
+    def test_only_is_repeatable(self, capsys):
+        assert runner_main(
+            ["--quick", "--only", "model", "--only", "micro"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[model]" in out
+        assert "[micro]" in out
+
+    def test_jobs_runs_sections_through_campaign_pool(self, capsys):
+        assert runner_main(
+            ["--quick", "--only", "model", "--only", "micro", "--jobs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        # both sections present, in canonical order, with timing lines
+        assert out.index("[model]") < out.index("[micro]")
+        assert "analytical traffic model" in out
+        assert "footprint" in out

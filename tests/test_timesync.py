@@ -47,6 +47,23 @@ class TestNodeClock:
         b = NodeClock(offset=-0.05)
         assert a.error_vs(b, 0.0) == pytest.approx(0.15)
 
+    def test_default_clocks_have_independent_jitter_streams(self):
+        # Regression: defaults used to share random.Random(0), so every
+        # clock read the same jitter sequence.
+        a = NodeClock(read_jitter=0.01)
+        b = NodeClock(read_jitter=0.01)
+        reads_a = [a.local_time(100.0) for _ in range(8)]
+        reads_b = [b.local_time(100.0) for _ in range(8)]
+        assert reads_a != reads_b
+
+    def test_seed_gives_reproducible_jitter(self):
+        a = NodeClock(read_jitter=0.01, seed=7)
+        b = NodeClock(read_jitter=0.01, seed=7)
+        c = NodeClock(read_jitter=0.01, seed=8)
+        reads = lambda clock: [clock.local_time(1.0) for _ in range(8)]
+        assert reads(a) == reads(b)
+        assert reads(a) != reads(c)
+
 
 def build_rbs_network(offsets, drifts=None, jitter=0.0):
     """Star: beacon at hub 0; participants 1..n; coordinator at 1."""
