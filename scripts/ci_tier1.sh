@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: the fast test suite plus a single-process campaign
-# smoke run (exercises the CLI, the worker pool's serial path, the
-# content-addressed store, and cache-hit resume end to end).
+# Tier-1 CI gate: the fast test suite, a single-process campaign smoke
+# run (exercises the CLI, the worker pool's serial path, the
+# content-addressed store, and cache-hit resume end to end), and a
+# trace record/summarize smoke over the observability CLI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +14,20 @@ store="$(mktemp -d)"
 trap 'rm -rf "$store"' EXIT
 python -m repro campaign run scale-aggregation --quick --jobs 1 --store "$store"
 # An immediate re-run must be served entirely from cache.
-python -m repro campaign run scale-aggregation --quick --jobs 1 --store "$store" \
-    | grep -q "cached=2" || { echo "campaign cache miss on re-run" >&2; exit 1; }
+# Buffer the output: grep -q would close the pipe mid-print and kill
+# the CLI with SIGPIPE under pipefail.
+rerun="$(python -m repro campaign run scale-aggregation --quick --jobs 1 --store "$store")"
+grep -q "cached=2" <<<"$rerun" \
+    || { echo "campaign cache miss on re-run" >&2; exit 1; }
+
+# Observability smoke: record a tiny traced run, then summarize it.
+trace="$store/smoke-trace.jsonl"
+python -m repro trace record --out "$trace" --scenario line --nodes 3 \
+    --duration 20 --seed 1
+python -m repro trace summarize "$trace" > "$store/summary.txt"
+grep -q "diffusion.tx" "$store/summary.txt" \
+    || { echo "trace summarize missing diffusion.tx" >&2; exit 1; }
+python -m repro trace paths "$trace" > "$store/paths.txt"
+grep -q "data messages:" "$store/paths.txt" \
+    || { echo "trace paths produced no report" >&2; exit 1; }
 echo "tier-1 OK"

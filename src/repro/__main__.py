@@ -4,6 +4,8 @@ Usage::
 
     python -m repro experiments [--quick] [--only fig8] [--jobs 4]
     python -m repro campaign run scale-aggregation --jobs 4
+    python -m repro trace record --out run.jsonl --scenario isi
+    python -m repro trace paths run.jsonl
     python -m repro example quickstart
     python -m repro info
 """
@@ -60,6 +62,13 @@ def main(argv=None) -> int:
     )
     camp.add_argument("args", nargs=argparse.REMAINDER)
 
+    trace = sub.add_parser(
+        "trace",
+        help="record/summarize/paths/timeline/profile over JSONL traces",
+        add_help=False,
+    )
+    trace.add_argument("args", nargs=argparse.REMAINDER)
+
     ex = sub.add_parser("example", help="run a narrated example")
     ex.add_argument("name", choices=sorted(EXAMPLES))
 
@@ -81,6 +90,10 @@ def main(argv=None) -> int:
         from repro.campaign.cli import main as campaign_main
 
         return campaign_main(args.args)
+    if args.command == "trace":
+        from repro.analysis.tracecli import main as trace_main
+
+        return trace_main(args.args)
     if args.command == "example":
         script = _examples_dir() / EXAMPLES[args.name]
         if not script.exists():

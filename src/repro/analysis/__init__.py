@@ -12,6 +12,17 @@ from repro.analysis.tracelog import (
     summarize_campaign,
     summarize_trace,
 )
+from repro.analysis.paths import (
+    DropRecord,
+    HopRecord,
+    MessagePath,
+    format_loss_table,
+    format_path,
+    format_route,
+    loss_attribution,
+    reconstruct_paths,
+    trace_timeline,
+)
 
 __all__ = [
     "ConfidenceInterval",
@@ -27,4 +38,13 @@ __all__ = [
     "summarize_trace",
     "CampaignSummary",
     "summarize_campaign",
+    "DropRecord",
+    "HopRecord",
+    "MessagePath",
+    "format_loss_table",
+    "format_path",
+    "format_route",
+    "loss_attribution",
+    "reconstruct_paths",
+    "trace_timeline",
 ]

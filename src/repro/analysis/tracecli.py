@@ -1,0 +1,277 @@
+"""``python -m repro trace`` — record and analyse JSONL traces.
+
+Subcommands::
+
+    repro trace record    --out run.jsonl --scenario line --nodes 3
+    repro trace summarize run.jsonl
+    repro trace paths     run.jsonl [--all] [--limit N]
+    repro trace timeline  run.jsonl <trace-id>
+    repro trace profile   run.jsonl
+
+``record`` runs a small canned scenario (a line network or the ISI
+14-node testbed of Figure 7) with full tracing, the metrics registry,
+and the kernel profiler enabled, and appends ``metrics.snapshot`` and
+``kernel.profile`` records to the end of the log so the analysis
+subcommands are self-contained.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.paths import (
+    format_loss_table,
+    format_path,
+    format_route,
+    loss_attribution,
+    reconstruct_paths,
+)
+from repro.analysis.tracelog import TraceLogger, load_trace, summarize_trace
+
+DEMO_TYPE = "trace-demo"
+
+
+def _build_scenario(args):
+    """A (network, sink_id, source_ids) triple for the chosen scenario."""
+    from repro.radio import Topology
+    from repro.testbed import (
+        FIG8_SINK,
+        FIG8_SOURCES,
+        SensorNetwork,
+        isi_testbed_network,
+    )
+
+    if args.scenario == "isi":
+        network = isi_testbed_network(seed=args.seed)
+        return network, FIG8_SINK, list(FIG8_SOURCES[: args.sources])
+    topology = Topology.line(args.nodes, spacing=15.0)
+    network = SensorNetwork(topology, seed=args.seed)
+    node_ids = network.node_ids()
+    return network, node_ids[0], [node_ids[-1]]
+
+
+def _run_record(args) -> int:
+    from repro.naming import AttributeVector
+    from repro.naming.keys import Key
+    from repro.sim import use_registry
+
+    with use_registry() as registry:
+        network, sink_id, source_ids = _build_scenario(args)
+        profiler = network.sim.enable_profiler()
+        with TraceLogger(network.trace, path=args.out) as logger:
+            received: List = []
+            sub = AttributeVector.builder().eq(Key.TYPE, DEMO_TYPE).build()
+            network.api(sink_id).subscribe(
+                sub, lambda attrs, msg: received.append(msg)
+            )
+
+            for source_id in source_ids:
+                api = network.api(source_id)
+                pub = api.publish(
+                    AttributeVector.builder()
+                    .actual(Key.TYPE, DEMO_TYPE)
+                    .actual(Key.INSTANCE, str(source_id))
+                    .build()
+                )
+
+                def tick(api=api, pub=pub, seq=[0]):
+                    api.send(
+                        pub,
+                        AttributeVector.builder()
+                        .actual(Key.SEQUENCE, seq[0])
+                        .build(),
+                    )
+                    seq[0] += 1
+                    if network.sim.now + args.interval < args.duration:
+                        network.sim.schedule(args.interval, tick)
+
+                network.sim.schedule(args.warmup, tick)
+
+            network.run(until=args.duration)
+            # Trailing aggregate records make the log self-contained.
+            network.trace.emit(
+                network.sim.now, "metrics.snapshot", **registry.snapshot()
+            )
+            network.trace.emit(
+                network.sim.now, "kernel.profile", **profiler.snapshot()
+            )
+        print(
+            f"recorded {logger.records_written} records to {args.out} "
+            f"({args.scenario} scenario, {len(received)} deliveries at "
+            f"node {sink_id})"
+        )
+    return 0
+
+
+def _run_summarize(args) -> int:
+    records = load_trace(args.trace)
+    summary = summarize_trace(records)
+    print(f"records:   {summary.record_count}")
+    print(f"duration:  {summary.duration:.3f}s (simulated)")
+    print("by category:")
+    for category, count in sorted(summary.by_category.items()):
+        print(f"  {category:<24} {count}")
+    if summary.tx_bytes_by_node:
+        print("tx bytes by node:")
+        for node, nbytes in sorted(summary.tx_bytes_by_node.items()):
+            print(f"  node {node:<4} {nbytes}")
+    if summary.collisions_by_node:
+        print("collisions by node:")
+        for node, count in sorted(summary.collisions_by_node.items()):
+            print(f"  node {node:<4} {count}")
+    for record in records:
+        if record.category == "metrics.snapshot":
+            print("metrics:")
+            for name, value in sorted(
+                record.data.get("counters", {}).items()
+            ):
+                print(f"  {name:<44} {value}")
+    return 0
+
+
+def _run_paths(args) -> int:
+    records = load_trace(args.trace)
+    paths = reconstruct_paths(records)
+    data_paths = [
+        p
+        for p in paths.values()
+        if p.msg_type in ("DATA", "EXPLORATORY_DATA")
+    ]
+    delivered = [p for p in data_paths if p.delivered]
+    undelivered = [p for p in data_paths if not p.delivered]
+    print(
+        f"{len(data_paths)} data messages: {len(delivered)} delivered, "
+        f"{len(undelivered)} lost"
+    )
+    shown = data_paths if args.all else delivered
+    for path in shown[: args.limit]:
+        print()
+        print(format_path(path))
+    if len(shown) > args.limit:
+        print(f"\n... {len(shown) - args.limit} more (raise --limit)")
+    print()
+    print("loss attribution (undelivered data messages):")
+    print(format_loss_table(loss_attribution(paths)))
+    return 0
+
+
+def _run_timeline(args) -> int:
+    from repro.analysis.paths import trace_timeline
+
+    records = load_trace(args.trace)
+    timeline = trace_timeline(records, args.trace_id)
+    if not timeline:
+        print(f"no records mention trace {args.trace_id!r}", file=sys.stderr)
+        return 1
+    for record in timeline:
+        extras = " ".join(
+            f"{k}={v}"
+            for k, v in sorted(record.data.items())
+            if k != "trace"
+        )
+        print(
+            f"{record.time:10.4f}s  {record.category:<18} "
+            f"node={record.node}  {extras}"
+        )
+    paths = reconstruct_paths(records)
+    path = paths.get(args.trace_id)
+    if path is not None:
+        print()
+        print(format_path(path))
+    return 0
+
+
+def _run_profile(args) -> int:
+    records = load_trace(args.trace)
+    profile = None
+    for record in records:
+        if record.category == "kernel.profile":
+            profile = record.data
+    if profile is None:
+        print(
+            "no kernel.profile record in trace "
+            "(record with `repro trace record` to include one)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"events:          {profile.get('events')}")
+    print(f"events/sec:      {profile.get('events_per_second', 0.0):.0f}")
+    print(f"busy seconds:    {profile.get('busy_seconds', 0.0):.4f}")
+    print(f"max queue depth: {profile.get('max_queue_depth')}")
+    sites = profile.get("sites", [])
+    if sites:
+        print(f"{'site':<28} {'count':>8} {'seconds':>10} {'mean_us':>9}")
+        for site in sites[: args.limit]:
+            print(
+                f"{site.get('site', '?'):<28} {site.get('count', 0):>8} "
+                f"{site.get('seconds', 0.0):>10.4f} "
+                f"{site.get('mean_us', 0.0):>9.1f}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="record and analyse causal message traces",
+    )
+    sub = parser.add_subparsers(dest="trace_command", required=True)
+
+    rec = sub.add_parser("record", help="run a canned scenario and record it")
+    rec.add_argument("--out", required=True, help="JSONL output path")
+    rec.add_argument(
+        "--scenario", choices=["line", "isi"], default="line",
+        help="line topology or the ISI 14-node testbed",
+    )
+    rec.add_argument("--nodes", type=int, default=3, help="line length")
+    rec.add_argument(
+        "--sources", type=int, default=4, help="ISI source count (1-4)"
+    )
+    rec.add_argument("--duration", type=float, default=60.0)
+    rec.add_argument("--warmup", type=float, default=3.0)
+    rec.add_argument(
+        "--interval", type=float, default=5.0,
+        help="seconds between data sends (paper cadence: ~6s)",
+    )
+    rec.add_argument("--seed", type=int, default=1)
+    rec.set_defaults(func=_run_record)
+
+    summ = sub.add_parser("summarize", help="run-level statistics")
+    summ.add_argument("trace")
+    summ.set_defaults(func=_run_summarize)
+
+    paths = sub.add_parser(
+        "paths", help="per-message routes and loss attribution"
+    )
+    paths.add_argument("trace")
+    paths.add_argument(
+        "--all", action="store_true",
+        help="show undelivered messages too, not just delivered ones",
+    )
+    paths.add_argument("--limit", type=int, default=10)
+    paths.set_defaults(func=_run_paths)
+
+    timeline = sub.add_parser(
+        "timeline", help="every event touching one trace id"
+    )
+    timeline.add_argument("trace")
+    timeline.add_argument("trace_id", help="e.g. 25.17 (origin.msg_id)")
+    timeline.set_defaults(func=_run_timeline)
+
+    profile = sub.add_parser("profile", help="kernel event-loop profile")
+    profile.add_argument("trace")
+    profile.add_argument("--limit", type=int, default=15)
+    profile.set_defaults(func=_run_profile)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,13 @@ from repro.sim import TraceBus, TraceRecord
 
 
 class TraceLogger:
-    """Streams trace records to a JSONL file (or an in-memory list)."""
+    """Streams trace records to a JSONL file (or an in-memory list).
+
+    Usable as a context manager: on exit the logger unsubscribes from
+    the bus (returning ``emit`` to its cheap no-listener path) and
+    flushes and closes the file, so every record survives even when the
+    recording process is about to die.
+    """
 
     def __init__(
         self,
@@ -31,7 +37,9 @@ class TraceLogger:
         self.records_written = 0
         self._handle = self.path.open("w") if self.path else None
         self._memory: List[TraceRecord] = []
-        for category in categories:
+        self._bus: Optional[TraceBus] = bus
+        self._categories = tuple(categories)
+        for category in self._categories:
             bus.subscribe(category, self._on_record)
 
     def _on_record(self, record: TraceRecord) -> None:
@@ -56,40 +64,70 @@ class TraceLogger:
         return list(self._memory)
 
     def close(self) -> None:
+        """Stop recording: unsubscribe, flush, and close the file."""
+        if self._bus is not None:
+            for category in self._categories:
+                self._bus.unsubscribe(category, self._on_record)
+            self._bus = None
         if self._handle is not None:
+            self._handle.flush()
             self._handle.close()
             self._handle = None
 
+    def __enter__(self) -> "TraceLogger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _jsonable_value(value):
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable_value(v) for v in value]
+    return repr(value)
+
 
 def _jsonable(data: Dict) -> Dict:
-    out = {}
-    for key, value in data.items():
-        if isinstance(value, bytes):
-            out[key] = value.hex()
-        elif isinstance(value, (int, float, str, bool)) or value is None:
-            out[key] = value
-        else:
-            out[key] = repr(value)
-    return out
+    """JSON-safe copy of a record's data: containers are serialized
+    recursively, bytes become hex, and only genuinely opaque objects
+    fall back to ``repr``."""
+    return {str(key): _jsonable_value(value) for key, value in data.items()}
 
 
 def load_trace(path: Union[str, Path]) -> List[TraceRecord]:
-    """Read a JSONL trace back into records."""
+    """Read a JSONL trace back into records.
+
+    A truncated final line (the writer died mid-record) is silently
+    dropped; a malformed line anywhere else is still an error.
+    """
     records = []
     with Path(path).open() as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
+        lines = [line.strip() for line in handle]
+    while lines and not lines[-1]:
+        lines.pop()
+    for lineno, line in enumerate(lines):
+        if not line:
+            continue
+        try:
             raw = json.loads(line)
-            records.append(
-                TraceRecord(
-                    time=raw["t"],
-                    category=raw["cat"],
-                    node=raw.get("node"),
-                    data=raw.get("data", {}),
-                )
+        except ValueError:
+            if lineno == len(lines) - 1:
+                break
+            raise
+        records.append(
+            TraceRecord(
+                time=raw["t"],
+                category=raw["cat"],
+                node=raw.get("node"),
+                data=raw.get("data", {}),
             )
+        )
     return records
 
 

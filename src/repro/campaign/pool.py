@@ -22,16 +22,27 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.campaign.progress import CampaignProgress
 from repro.campaign.spec import Campaign, TrialSpec, resolve_trial
 from repro.campaign.store import ResultStore
+from repro.sim.metrics import use_registry
 
 #: Futures are polled this often so timeouts and Ctrl-C stay responsive.
 _POLL_INTERVAL = 0.1
 
 
 def _run_trial(trial: str, params: Dict[str, Any], seed: int) -> Tuple[Any, float, float]:
-    """Execute one trial; module-level so worker processes can pickle it."""
+    """Execute one trial; module-level so worker processes can pickle it.
+
+    Each trial runs inside its own metrics registry; whatever instruments
+    the simulated stack registered come back attached to dict-shaped
+    results under ``"metrics"`` (absent when the trial built no
+    instrumented components, so metric-less trials are byte-identical to
+    the pre-registry format and stay cache-compatible).
+    """
     start = time.perf_counter()
     cpu_start = time.process_time()
-    result = resolve_trial(trial)(dict(params), seed)
+    with use_registry() as registry:
+        result = resolve_trial(trial)(dict(params), seed)
+    if isinstance(result, dict) and not registry.empty:
+        result.setdefault("metrics", registry.snapshot())
     return result, time.perf_counter() - start, time.process_time() - cpu_start
 
 

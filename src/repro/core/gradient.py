@@ -77,6 +77,11 @@ class InterestEntry:
         self.sink_preferred: Dict[int, List[int]] = {}
         self.last_refresh: float = 0.0
         self.local_sink = False       # a local subscription created this
+        # data origins whose routes negative reinforcement tore down and
+        # positive reinforcement has not since restored — lets the loss
+        # attribution distinguish "path deliberately withdrawn" from
+        # "path never established".
+        self.torn_down: set = set()
 
     # -- gradients -----------------------------------------------------------
 
@@ -112,6 +117,7 @@ class InterestEntry:
         self, data_origin: int, neighbor: int, now: float, timeout: float
     ) -> ReinforcedGradient:
         key = (data_origin, neighbor)
+        self.torn_down.discard(data_origin)
         entry = self.reinforced.get(key)
         if entry is None:
             entry = ReinforcedGradient(
@@ -123,7 +129,13 @@ class InterestEntry:
         return entry
 
     def unreinforce(self, data_origin: int, neighbor: int) -> bool:
-        return self.reinforced.pop((data_origin, neighbor), None) is not None
+        removed = self.reinforced.pop((data_origin, neighbor), None) is not None
+        if removed:
+            self.torn_down.add(data_origin)
+        return removed
+
+    def was_torn_down(self, data_origin: int) -> bool:
+        return data_origin in self.torn_down
 
     def reinforced_neighbors(self, data_origin: int, now: float) -> List[int]:
         return sorted(

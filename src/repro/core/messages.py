@@ -74,6 +74,12 @@ class Message:
     push_attrs: Optional[AttributeVector] = None
     header_bytes: int = 24
     padding_bytes: int = 0            # explicit size padding (test harnesses)
+    # Causal-tracing context: forwarding preserves identity (the trace
+    # id) while counting hops; messages created *in response* to
+    # another (per-hop reinforcements, data answering an interest) name
+    # their trigger's trace id so offline analysis can walk the chain.
+    hop_count: int = 0
+    parent_trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.msg_id == 0:
@@ -82,6 +88,16 @@ class Message:
     @property
     def unique_id(self) -> Tuple[int, int]:
         return (self.origin, self.msg_id)
+
+    @property
+    def trace_id(self) -> str:
+        """Network-wide stable identity of this message for tracing.
+
+        Derived from ``(origin, msg_id)``, so every forwarded copy of a
+        message shares one trace id and the path tools can stitch its
+        hops back together from a recorded trace.
+        """
+        return f"{self.origin}.{self.msg_id}"
 
     @property
     def nbytes(self) -> int:
@@ -98,7 +114,7 @@ class Message:
 
     def forwarded_copy(self, next_hop: Optional[int]) -> "Message":
         """A copy for retransmission: same identity, new next hop."""
-        return replace(self, next_hop=next_hop)
+        return replace(self, next_hop=next_hop, hop_count=self.hop_count + 1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -146,6 +162,7 @@ def make_reinforcement(
     origin: int,
     next_hop: int,
     header_bytes: int = 24,
+    parent_trace: Optional[str] = None,
 ) -> Message:
     msg_type = (
         MessageType.POSITIVE_REINFORCEMENT
@@ -160,4 +177,5 @@ def make_reinforcement(
         interest_digest=interest_digest,
         data_origin=data_origin,
         header_bytes=header_bytes,
+        parent_trace=parent_trace,
     )

@@ -41,6 +41,7 @@ from repro.core.messages import (
 from repro.naming import AttributeVector, two_way_match
 from repro.naming.keys import Key
 from repro.sim import Simulator, TraceBus
+from repro.sim.metrics import MetricsRegistry, current_registry
 
 _subscription_ids = itertools.count(1)
 _publication_ids = itertools.count(1)
@@ -98,6 +99,7 @@ class DiffusionNode:
         config: Optional[DiffusionConfig] = None,
         trace: Optional[TraceBus] = None,
         rng: Optional[random.Random] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -107,6 +109,20 @@ class DiffusionNode:
         self.trace = trace or TraceBus()
         self.rng = rng or random.Random(node_id)
         self.stats = NodeStats()
+        registry = metrics if metrics is not None else current_registry()
+        self._m_tx_messages = registry.counter("diffusion.tx.messages")
+        self._m_tx_bytes = registry.counter("diffusion.tx.bytes")
+        self._m_rx_messages = registry.counter("diffusion.rx.messages")
+        self._m_delivered = registry.counter("diffusion.delivered")
+        self._m_drop_dup = registry.counter(
+            "diffusion.drops", reason="cache-suppression"
+        )
+        self._m_drop_noroute = registry.counter(
+            "diffusion.drops", reason="no-route"
+        )
+        self._m_drop_negative = registry.counter(
+            "diffusion.drops", reason="negative-reinforcement"
+        )
 
         self.gradients = GradientTable()
         self.cache = DataCache(
@@ -270,6 +286,7 @@ class DiffusionNode:
             padding_bytes=padding_bytes,
             push_attrs=pub.attrs if self.config.push_mode else None,
         )
+        self._note_origin(message)
         self._run_pipeline(message)
         return message
 
@@ -285,6 +302,7 @@ class DiffusionNode:
             origin=self.node_id,
             header_bytes=self.config.header_bytes,
         )
+        self._note_origin(message)
         self._run_pipeline(message)
         jitter = self.rng.uniform(0, self.config.interest_jitter)
         sub.periodic_event = self.sim.schedule(
@@ -308,12 +326,37 @@ class DiffusionNode:
 
     # -- interests -------------------------------------------------------
 
+    def _note_origin(self, message: Message) -> None:
+        """Trace the creation of a message at this node (rare path)."""
+        self.trace.emit(
+            self.sim.now,
+            "path.origin",
+            node=self.node_id,
+            trace=message.trace_id,
+            msg_type=message.msg_type.name,
+            parent=message.parent_trace,
+        )
+
+    def _note_drop(self, message: Message, reason: str) -> None:
+        """Trace a message this node declined to carry further."""
+        self.trace.emit(
+            self.sim.now,
+            "path.drop",
+            node=self.node_id,
+            trace=message.trace_id,
+            msg_type=message.msg_type.name,
+            reason=reason,
+            layer="core",
+        )
+
     def _process_interest(self, message: Message) -> None:
         now = self.sim.now
         if self.config.enable_duplicate_suppression and self.cache.seen_before(
             ("interest", message.unique_id), now
         ):
             self.stats.duplicates_suppressed += 1
+            self._m_drop_dup.inc()
+            self._note_drop(message, "cache-suppression")
             return
         entry = self.gradients.entry_for(message.attrs)
         if message.last_hop is not None:
@@ -338,6 +381,8 @@ class DiffusionNode:
             ("data", message.unique_id), now
         ):
             self.stats.duplicates_suppressed += 1
+            self._m_drop_dup.inc()
+            self._note_drop(message, "cache-suppression")
             if message.msg_type is MessageType.EXPLORATORY_DATA:
                 # Duplicate exploratory copies are not re-forwarded or
                 # re-delivered, but they still carry path information:
@@ -352,6 +397,8 @@ class DiffusionNode:
         matches = self.gradients.matching_data(message.attrs, now)
         if not matches:
             self.stats.messages_dropped_no_route += 1
+            self._m_drop_noroute.inc()
+            self._note_drop(message, "no-route")
             return
         delivered = self._deliver_to_subscriptions(message)
         if message.msg_type is MessageType.EXPLORATORY_DATA:
@@ -378,7 +425,7 @@ class DiffusionNode:
             ):
                 # A matching local subscription makes this node a sink
                 # for the advertised publication: reinforce toward it.
-                self._sink_reinforce(entry, data_origin, now)
+                self._sink_reinforce(entry, data_origin, now, cause=message.trace_id)
             # Advertisements flood the whole network (the cost of push).
             self._transmit(message.forwarded_copy(BROADCAST))
             return
@@ -390,6 +437,12 @@ class DiffusionNode:
         if not next_hops:
             if not delivered:
                 self.stats.messages_dropped_no_route += 1
+                if entry.was_torn_down(data_origin):
+                    self._m_drop_negative.inc()
+                    self._note_drop(message, "negative-reinforcement")
+                else:
+                    self._m_drop_noroute.inc()
+                    self._note_drop(message, "no-route")
             return
         for neighbor in next_hops:
             self._transmit(message.forwarded_copy(neighbor))
@@ -413,7 +466,7 @@ class DiffusionNode:
                 and self.config.enable_reinforcement
                 and self.config.multipath_degree > 1
             ):
-                self._sink_reinforce(entry, data_origin, now)
+                self._sink_reinforce(entry, data_origin, now, cause=message.trace_id)
 
     def _process_exploratory(
         self,
@@ -437,7 +490,7 @@ class DiffusionNode:
                 # compete with the exploratory flood, so repetition is
                 # what makes path setup reliable.  note_exploratory has
                 # already pointed "preferred" at the first-copy neighbor.
-                self._sink_reinforce(entry, data_origin, now)
+                self._sink_reinforce(entry, data_origin, now, cause=message.trace_id)
         # Exploratory data floods onward to find/repair paths.
         remote_demand = any(
             entry.active_gradient_neighbors(now) for entry in matches
@@ -446,7 +499,11 @@ class DiffusionNode:
             self._transmit(message.forwarded_copy(BROADCAST))
 
     def _sink_reinforce(
-        self, entry: InterestEntry, data_origin: int, now: float
+        self,
+        entry: InterestEntry,
+        data_origin: int,
+        now: float,
+        cause: Optional[str] = None,
     ) -> None:
         """Sink-side path selection for one (interest, source) pair.
 
@@ -469,6 +526,7 @@ class DiffusionNode:
                         entry=entry,
                         data_origin=data_origin,
                         next_hop=dropped,
+                        cause=cause,
                     )
         entry.sink_preferred[data_origin] = list(preferred)
         for next_hop in preferred:
@@ -477,10 +535,16 @@ class DiffusionNode:
                 entry=entry,
                 data_origin=data_origin,
                 next_hop=next_hop,
+                cause=cause,
             )
 
     def _send_reinforcement(
-        self, positive: bool, entry: InterestEntry, data_origin: int, next_hop: int
+        self,
+        positive: bool,
+        entry: InterestEntry,
+        data_origin: int,
+        next_hop: int,
+        cause: Optional[str] = None,
     ) -> None:
         message = make_reinforcement(
             positive=positive,
@@ -490,7 +554,9 @@ class DiffusionNode:
             origin=self.node_id,
             next_hop=next_hop,
             header_bytes=self.config.header_bytes,
+            parent_trace=cause,
         )
+        self._note_origin(message)
         # Jittered: reinforcements fire while an exploratory flood is in
         # the air; delaying past the flood keeps them out of collisions.
         delay = self.rng.uniform(0.05, max(0.05, self.config.reinforcement_jitter))
@@ -514,6 +580,12 @@ class DiffusionNode:
             local = any(entry.local_sink for entry in matches)
             if not local:
                 self.stats.messages_dropped_no_route += 1
+                if any(entry.was_torn_down(data_origin) for entry in matches):
+                    self._m_drop_negative.inc()
+                    self._note_drop(message, "negative-reinforcement")
+                else:
+                    self._m_drop_noroute.inc()
+                    self._note_drop(message, "no-route")
             return
         for neighbor in next_hops:
             self._transmit(message.forwarded_copy(neighbor))
@@ -542,6 +614,7 @@ class DiffusionNode:
                     entry=entry,
                     data_origin=message.data_origin,
                     next_hop=upstream,
+                    cause=message.trace_id,
                 )
         else:
             entry.unreinforce(message.data_origin, downstream)
@@ -553,6 +626,7 @@ class DiffusionNode:
                         entry=entry,
                         data_origin=message.data_origin,
                         next_hop=upstream,
+                        cause=message.trace_id,
                     )
 
     # ------------------------------------------------------------------
@@ -566,12 +640,15 @@ class DiffusionNode:
             if two_way_match(list(sub.attrs), list(effective)):
                 delivered = True
                 self.stats.events_delivered += 1
+                self._m_delivered.inc()
                 self.trace.emit(
                     self.sim.now,
                     "app.deliver",
                     node=self.node_id,
                     msg_type=message.msg_type.name,
                     origin=message.origin,
+                    trace=message.trace_id,
+                    hops=message.hop_count,
                 )
                 sub.callback(message.attrs, message)
         return delivered
@@ -582,6 +659,8 @@ class DiffusionNode:
 
     def _transmit(self, message: Message) -> None:
         self.stats.count_tx(message)
+        self._m_tx_messages.inc()
+        self._m_tx_bytes.inc(message.nbytes)
         self.trace.emit(
             self.sim.now,
             "diffusion.tx",
@@ -589,6 +668,8 @@ class DiffusionNode:
             nbytes=message.nbytes,
             msg_type=message.msg_type.name,
             next_hop=message.next_hop,
+            trace=message.trace_id,
+            hops=message.hop_count,
         )
         if self.transport is not None:
             self.transport.send_message(message, message.nbytes, message.next_hop)
@@ -597,6 +678,7 @@ class DiffusionNode:
         if not isinstance(message, Message):
             return
         self.stats.messages_received += 1
+        self._m_rx_messages.inc()
         self.trace.emit(
             self.sim.now,
             "diffusion.rx",
@@ -604,6 +686,8 @@ class DiffusionNode:
             nbytes=nbytes,
             msg_type=message.msg_type.name,
             src=src,
+            trace=message.trace_id,
+            hops=message.hop_count,
         )
         incoming = replace(message, last_hop=src)
         self._run_pipeline(incoming)

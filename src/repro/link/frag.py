@@ -17,7 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
-from repro.sim import Simulator
+from repro.sim import Simulator, TraceBus, trace_id_of
+from repro.sim.metrics import MetricsRegistry, current_registry
 
 
 @dataclass(frozen=True)
@@ -47,12 +48,21 @@ class FragmentationLayer:
         node_id: int,
         fragment_payload: int = 27,
         reassembly_timeout: float = 5.0,
+        trace: Optional[TraceBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.mac = mac
         self.node_id = node_id
         self.fragment_payload = fragment_payload
         self.reassembly_timeout = reassembly_timeout
+        self.trace = trace or TraceBus()
+        registry = metrics if metrics is not None else current_registry()
+        self._m_sent = registry.counter("frag.messages_sent")
+        self._m_delivered = registry.counter("frag.messages_delivered")
+        self._m_incomplete = registry.counter(
+            "frag.drops", reason="reassembly-failure"
+        )
         self.deliver_callback: Optional[Callable[[Any, int, int], None]] = None
         self._message_counter = 0
         # (message_id) -> (set of indices received, count, expiry event, nbytes, message, src)
@@ -91,6 +101,7 @@ class FragmentationLayer:
             )
             self.mac.enqueue(fragment, size, link_dst)
         self.messages_sent += 1
+        self._m_sent.inc()
         return count
 
     # -- receive ------------------------------------------------------------
@@ -135,13 +146,26 @@ class FragmentationLayer:
 
     def _deliver(self, message: Any, src: int, nbytes: int) -> None:
         self.messages_delivered += 1
+        self._m_delivered.inc()
         if self.deliver_callback is not None:
             self.deliver_callback(message, src, nbytes)
 
     def _expire(self, message_id: Tuple[int, int]) -> None:
-        if message_id in self._partial:
-            del self._partial[message_id]
+        state = self._partial.pop(message_id, None)
+        if state is not None:
             self.messages_incomplete += 1
+            self._m_incomplete.inc()
+            trace_id = trace_id_of(state["message"])
+            if trace_id is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "path.drop",
+                    node=self.node_id,
+                    trace=trace_id,
+                    reason="reassembly-failure",
+                    layer="link",
+                    src=state["src"],
+                )
 
     @property
     def partial_count(self) -> int:

@@ -7,7 +7,8 @@ from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
 from repro.radio.modem import BROADCAST_ADDRESS, Modem
-from repro.sim import Simulator
+from repro.sim import Simulator, TraceBus, trace_id_of
+from repro.sim.metrics import MetricsRegistry, current_registry
 
 
 @dataclass
@@ -38,11 +39,20 @@ class Mac:
         sim: Simulator,
         modem: Modem,
         queue_limit: int = 64,
+        trace: Optional[TraceBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.modem = modem
         self.queue_limit = queue_limit
         self.stats = MacStats()
+        self.trace = trace or TraceBus()
+        registry = metrics if metrics is not None else current_registry()
+        self._m_enqueued = registry.counter("mac.enqueued")
+        self._m_transmitted = registry.counter("mac.transmitted")
+        self._m_backoffs = registry.counter("mac.backoffs")
+        self._m_queue_drops = registry.counter("mac.drops", reason="queue-full")
+        self._m_queue_depth = registry.histogram("mac.queue_depth")
         self._queue: Deque[Tuple[Any, int, Optional[int]]] = deque()
         self._busy = False
 
@@ -63,9 +73,22 @@ class Mac:
         """Queue one fragment; returns False when the queue overflowed."""
         if len(self._queue) >= self.queue_limit:
             self.stats.dropped_queue_full += 1
+            self._m_queue_drops.inc()
+            trace_id = trace_id_of(payload)
+            if trace_id is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "path.drop",
+                    node=self.node_id,
+                    trace=trace_id,
+                    reason="queue-full",
+                    layer="mac",
+                )
             return False
         self._queue.append((payload, nbytes, link_dst))
         self.stats.enqueued += 1
+        self._m_enqueued.inc()
+        self._m_queue_depth.observe(len(self._queue))
         if not self._busy:
             self._busy = True
             self._schedule_attempt(first=True)
@@ -81,6 +104,7 @@ class Mac:
     def _transmit_head(self) -> None:
         payload, nbytes, link_dst = self._queue.popleft()
         self.stats.transmitted += 1
+        self._m_transmitted.inc()
         self.modem.transmit_fragment(
             payload, nbytes, link_dst, on_done=self._after_transmit
         )

@@ -14,7 +14,8 @@ from typing import Optional
 
 from repro.mac.base import Mac
 from repro.radio.modem import Modem
-from repro.sim import Simulator
+from repro.sim import Simulator, TraceBus
+from repro.sim.metrics import MetricsRegistry
 
 
 class CsmaMac(Mac):
@@ -29,8 +30,11 @@ class CsmaMac(Mac):
         max_backoff: float = 0.32,
         interframe_gap: float = 0.002,
         queue_limit: int = 64,
+        trace: Optional[TraceBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        super().__init__(sim, modem, queue_limit=queue_limit)
+        super().__init__(sim, modem, queue_limit=queue_limit, trace=trace,
+                         metrics=metrics)
         self.rng = rng or random.Random(0)
         self.min_backoff = min_backoff
         self.max_backoff = max_backoff
@@ -49,6 +53,7 @@ class CsmaMac(Mac):
             return
         if self.modem.carrier_busy() or self.modem.transmitting:
             self.stats.backoffs += 1
+            self._m_backoffs.inc()
             self._backoff_stage = min(self._backoff_stage + 1, 6)
             window = min(self.max_backoff, self.min_backoff * (2 ** self._backoff_stage))
             delay = self.min_backoff + self.rng.random() * window

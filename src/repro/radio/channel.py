@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from repro.sim import Simulator, TraceBus
+from repro.sim import Simulator, TraceBus, trace_id_of
+from repro.sim.metrics import MetricsRegistry, current_registry
 from repro.sim.rng import SeedSequence
 
 
@@ -39,6 +40,10 @@ class _Reception:
     transmission: Transmission
     prr: float
     corrupted: bool = False
+    # Why the reception failed, for loss attribution ("collision",
+    # "half-duplex", "channel-loss"); meaningful only when corrupted
+    # or on the loss paths in _finish_reception.
+    reason: str = "collision"
 
 
 class Channel:
@@ -66,11 +71,24 @@ class Channel:
         seeds: Optional[SeedSequence] = None,
         trace: Optional[TraceBus] = None,
         capture_effect: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.propagation = propagation
         self.capture_effect = capture_effect
         self.trace = trace or TraceBus()
+        registry = metrics if metrics is not None else current_registry()
+        self._m_sent = registry.counter("channel.fragments_sent")
+        self._m_delivered = registry.counter("channel.fragments_delivered")
+        self._m_drop_collision = registry.counter(
+            "channel.drops", reason="collision"
+        )
+        self._m_drop_half_duplex = registry.counter(
+            "channel.drops", reason="half-duplex"
+        )
+        self._m_drop_loss = registry.counter(
+            "channel.drops", reason="channel-loss"
+        )
         self._loss_rng = (seeds or SeedSequence(1)).stream("channel-loss")
         self._modems: Dict[int, Any] = {}
         # Per-receiver set of in-progress receptions, for collision marking.
@@ -130,6 +148,7 @@ class Channel:
             seqno=self._seqno,
         )
         self.fragments_sent += 1
+        self._m_sent.inc()
         self.trace.emit(now, "channel.tx", node=src, nbytes=nbytes, dst=link_dst)
 
         for node_id, modem in self._modems.items():
@@ -143,6 +162,7 @@ class Channel:
             if modem.transmitting or getattr(modem, "sleeping", False):
                 # Half-duplex, and sleeping radios hear nothing.
                 reception.corrupted = True
+                reception.reason = "half-duplex"
             if in_progress:
                 # Overlap: the stronger signal may capture the receiver;
                 # comparable signals corrupt each other.
@@ -181,16 +201,49 @@ class Channel:
             self.trace.emit(
                 self.sim.now, "channel.collision", node=node_id, src=tx.src
             )
+            if reception.reason == "half-duplex":
+                self._m_drop_half_duplex.inc()
+            else:
+                self._m_drop_collision.inc()
+            self._note_radio_drop(node_id, tx, reception.reason)
             return
         if modem.transmitting or getattr(modem, "sleeping", False):
             # Started transmitting (or fell asleep) mid-reception: lost.
+            self._m_drop_half_duplex.inc()
+            self._note_radio_drop(node_id, tx, "half-duplex")
             return
         if self._loss_rng.random() >= reception.prr:
             self.fragments_lost += 1
+            self._m_drop_loss.inc()
             self.trace.emit(self.sim.now, "channel.loss", node=node_id, src=tx.src)
+            self._note_radio_drop(node_id, tx, "channel-loss")
             return
         self.fragments_delivered += 1
+        self._m_delivered.inc()
         self.trace.emit(
             self.sim.now, "channel.rx", node=node_id, src=tx.src, nbytes=tx.nbytes
         )
         modem.deliver(tx.payload, tx.src, tx.nbytes, tx.link_dst)
+
+    def _note_radio_drop(self, node_id: int, tx: Transmission, reason: str) -> None:
+        """Attribute one failed reception to its cause.
+
+        Only the addressed receiver matters for unicast fragments; for
+        broadcasts every audible node is a legitimate receiver, so each
+        failed copy is recorded (the path tools treat a broadcast hop as
+        lost only when *no* copy got through).
+        """
+        if tx.link_dst is not None and tx.link_dst != node_id:
+            return
+        trace_id = trace_id_of(tx.payload)
+        if trace_id is None:
+            return
+        self.trace.emit(
+            self.sim.now,
+            "path.drop",
+            node=node_id,
+            trace=trace_id,
+            reason=reason,
+            layer="radio",
+            src=tx.src,
+        )

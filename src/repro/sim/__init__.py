@@ -6,17 +6,30 @@ is deliberately small: a priority queue of timestamped events, cancellable
 timers, and a trace bus for experiment instrumentation.
 """
 
-from repro.sim.kernel import Event, Simulator, SimulationError
+from repro.sim.kernel import Event, KernelProfiler, Simulator, SimulationError
+from repro.sim.metrics import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    current_registry,
+    use_registry,
+)
 from repro.sim.rng import SeedSequence, derive_seed, make_rng
-from repro.sim.trace import TraceBus, TraceRecord
+from repro.sim.trace import TraceBus, TraceCollector, TraceRecord, trace_id_of
 
 __all__ = [
     "Event",
+    "KernelProfiler",
     "Simulator",
     "SimulationError",
     "SeedSequence",
     "derive_seed",
     "make_rng",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "current_registry",
+    "use_registry",
     "TraceBus",
+    "TraceCollector",
     "TraceRecord",
+    "trace_id_of",
 ]

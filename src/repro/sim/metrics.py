@@ -1,0 +1,205 @@
+"""Metrics registry: counters, gauges, and streaming histograms.
+
+The paper's testbed could only answer "what happened" questions by
+grepping logs collected over a second wired network (Section 7).  The
+trace bus answers *event*-shaped questions; this module answers
+*aggregate*-shaped ones: how many fragments collided, how deep did MAC
+queues get, how many messages were dropped for want of a route.
+
+Design rules, mirroring :meth:`TraceBus.emit`:
+
+* **Near-zero overhead when nobody asked.**  Components resolve their
+  instruments once, at construction, from :func:`current_registry`.
+  Outside a :func:`use_registry` block that returns the disabled
+  :data:`NULL_REGISTRY`, whose instruments are shared no-op singletons
+  — the hot-path cost is a single no-op method call.
+* **Instruments are memoized by (name, labels)**, so every node of a
+  network increments the same counter and snapshots stay compact.
+* **Snapshots are plain JSON.**  :meth:`MetricsRegistry.snapshot`
+  returns nested dicts of numbers, which is what lets campaign trials
+  carry structured metrics instead of ad-hoc result keys
+  (:mod:`repro.campaign.pool` attaches one per executed trial).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+def _flat_name(name: str, labels: Dict[str, Any]) -> str:
+    """``name{k=v,...}`` with labels sorted, or bare ``name``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (messages sent, drops, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (current queue depth, pending events)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max (no samples).
+
+    Keeping only moments makes ``observe`` O(1) and the snapshot a
+    fixed-size dict, which matters when one histogram sees every MAC
+    enqueue of a long run.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    min = None
+    max = None
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments, memoized by (name, sorted labels)."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    @property
+    def empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._counters.setdefault(_flat_name(name, labels), Counter())
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._gauges.setdefault(_flat_name(name, labels), Gauge())
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._histograms.setdefault(_flat_name(name, labels), Histogram())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instrument values as plain JSON-safe nested dicts."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "sum": hist.total,
+                    "mean": hist.mean,
+                    "min": hist.min,
+                    "max": hist.max,
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def format(self) -> str:
+        """A human-readable dump, one instrument per line."""
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"{name:<44} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            lines.append(f"{name:<44} {gauge.value}")
+        for name, hist in sorted(self._histograms.items()):
+            lines.append(
+                f"{name:<44} n={hist.count} mean={hist.mean:.3f} "
+                f"min={hist.min} max={hist.max}"
+            )
+        return "\n".join(lines)
+
+
+#: the disabled registry components fall back to when none is active
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+_active: List[MetricsRegistry] = []
+
+
+def current_registry() -> MetricsRegistry:
+    """The innermost :func:`use_registry` registry, or the null one."""
+    return _active[-1] if _active else NULL_REGISTRY
+
+
+@contextmanager
+def use_registry(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` (a fresh one by default) as the collection
+    target for components constructed inside the block."""
+    registry = registry if registry is not None else MetricsRegistry()
+    _active.append(registry)
+    try:
+        yield registry
+    finally:
+        _active.pop()

@@ -59,11 +59,49 @@ class TraceBus:
 
 
 class TraceCollector:
-    """Convenience listener that accumulates records in a list."""
+    """Convenience listener that accumulates records in a list.
+
+    A collector holds a live subscription on the bus, which keeps
+    ``emit`` on its slow path; call :meth:`detach` (or use the
+    collector as a context manager) when done so short-lived probes in
+    tests and benchmarks don't tax the rest of the run.
+    """
 
     def __init__(self, bus: TraceBus, category: str = "*") -> None:
         self.records: List[TraceRecord] = []
+        self._bus: Optional[TraceBus] = bus
+        self._category = category
         bus.subscribe(category, self.records.append)
+
+    @property
+    def attached(self) -> bool:
+        return self._bus is not None
+
+    def detach(self) -> None:
+        """Unsubscribe from the bus; the records stay readable."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self._category, self.records.append)
+            self._bus = None
+
+    def __enter__(self) -> "TraceCollector":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.detach()
 
     def by_category(self, category: str) -> List[TraceRecord]:
         return [r for r in self.records if r.category == category]
+
+
+def trace_id_of(payload: Any) -> Optional[str]:
+    """The trace id carried by a payload, unwrapping link fragments.
+
+    Lower layers (MAC queues, the channel, reassembly) see either a
+    diffusion :class:`~repro.core.messages.Message` or a
+    :class:`~repro.link.frag.Fragment` wrapping one; both expose the
+    originating message's trace id through here without the radio stack
+    importing the protocol stack.
+    """
+    message = getattr(payload, "message", payload)
+    trace_id = getattr(message, "trace_id", None)
+    return trace_id if isinstance(trace_id, str) else None

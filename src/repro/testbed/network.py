@@ -157,12 +157,18 @@ class SensorNetwork:
         mac_rng = self.seeds.stream(f"mac:{node_id}")
         if self.mac_factory is not None:
             mac = self.mac_factory(self.sim, modem, mac_rng, mac_queue_limit)
+            # The factory signature predates the trace bus; route factory-
+            # built MACs onto the shared bus after the fact.
+            mac.trace = self.trace
         else:
             mac = CsmaMac(
-                self.sim, modem, rng=mac_rng, queue_limit=mac_queue_limit
+                self.sim, modem, rng=mac_rng, queue_limit=mac_queue_limit,
+                trace=self.trace,
             )
         frag = FragmentationLayer(
-            self.sim, mac, node_id, fragment_payload=self.radio_params.fragment_payload
+            self.sim, mac, node_id,
+            fragment_payload=self.radio_params.fragment_payload,
+            trace=self.trace,
         )
         diffusion = DiffusionNode(
             self.sim,

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.api import DiffusionRouting
 from repro.naming import Attribute, AttributeVector, Operator
 from repro.naming.keys import Key
+from repro.sim.metrics import current_registry
 from repro.transfer.blocks import join_blocks
 from repro.transfer.sender import (
     REPAIR_TYPE,
@@ -67,6 +68,11 @@ class BlockReceiver:
         self.backoff_factor = backoff_factor
         self.max_quiet_timeout = max_quiet_timeout
         self.stats = TransferStats(object_id=object_id)
+        registry = current_registry()
+        self._m_blocks_received = registry.counter("transfer.blocks_received")
+        self._m_duplicates = registry.counter("transfer.duplicate_blocks")
+        self._m_repair_rounds = registry.counter("transfer.repair_rounds")
+        self._m_completed = registry.counter("transfer.completed")
         self._blocks: Dict[int, bytes] = {}
         self._quiet_timer = None
         self._failed = False
@@ -100,9 +106,11 @@ class BlockReceiver:
             self.stats.blocks_expected = total
         if index in self._blocks:
             self.stats.duplicate_blocks += 1
+            self._m_duplicates.inc()
         else:
             self._blocks[index] = payload
             self.stats.blocks_received += 1
+            self._m_blocks_received.inc()
         self._arm_quiet_timer()
         if len(self._blocks) == self.stats.blocks_expected:
             self._finish()
@@ -140,6 +148,7 @@ class BlockReceiver:
             self._failed = True
             return
         self.stats.repair_rounds += 1
+        self._m_repair_rounds.inc()
         # An empty block list is a status probe: "I have heard nothing,
         # does this object exist?" — the sender answers with block 0.
         batch = holes[: self.repair_batch]
@@ -157,6 +166,7 @@ class BlockReceiver:
 
     def _finish(self) -> None:
         self.stats.completed_at = self.api.node.sim.now
+        self._m_completed.inc()
         if self._quiet_timer is not None:
             self._quiet_timer.cancel()
         data = join_blocks(

@@ -15,6 +15,7 @@ from typing import Dict
 from repro.core.api import DiffusionRouting, PublicationHandle
 from repro.naming import Attribute, AttributeVector, Operator
 from repro.naming.keys import Key
+from repro.sim.metrics import current_registry
 from repro.transfer.blocks import DataObject
 
 TRANSFER_TYPE = "bulk-transfer"
@@ -55,6 +56,9 @@ class BlockSender:
         self.objects: Dict[str, DataObject] = {}
         self.blocks_sent = 0
         self.repairs_served = 0
+        registry = current_registry()
+        self._m_blocks_sent = registry.counter("transfer.blocks_sent")
+        self._m_repairs_served = registry.counter("transfer.repairs_served")
         self._publications: Dict[str, PublicationHandle] = {}
         # Listen for repair requests for any object we serve.
         repair_sub = (
@@ -115,6 +119,7 @@ class BlockSender:
             force_exploratory=force_exploratory,
         )
         self.blocks_sent += 1
+        self._m_blocks_sent.inc()
 
     # -- repair ------------------------------------------------------------
 
@@ -133,6 +138,7 @@ class BlockSender:
         for offset, index in enumerate(indices):
             if 0 <= index < obj.block_count:
                 self.repairs_served += 1
+                self._m_repairs_served.inc()
                 # Repairs are loss-recovery traffic: flood them so they
                 # make progress even when the reinforced path is stale.
                 sim.schedule(

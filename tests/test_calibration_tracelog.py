@@ -133,3 +133,113 @@ class TestTraceLogger:
         records = load_trace(path)
         assert records[0].data["blob"] == "0102"
         assert "object" in records[0].data["obj"]
+
+    def test_nested_containers_round_trip(self, tmp_path):
+        bus = TraceBus()
+        path = tmp_path / "trace.jsonl"
+        with TraceLogger(bus, path=path):
+            bus.emit(
+                1.0, "custom", node=1,
+                sites=[{"site": "a", "count": 2}, {"site": "b", "count": 1}],
+                nested={"inner": {"values": (1, 2, 3)}, "blob": b"\xff"},
+            )
+        record = load_trace(path)[0]
+        # Containers serialize recursively, not as one big repr string.
+        assert record.data["sites"] == [
+            {"site": "a", "count": 2},
+            {"site": "b", "count": 1},
+        ]
+        assert record.data["nested"]["inner"]["values"] == [1, 2, 3]
+        assert record.data["nested"]["blob"] == "ff"
+
+    def test_context_manager_closes_and_unsubscribes(self, tmp_path):
+        bus = TraceBus()
+        path = tmp_path / "trace.jsonl"
+        with TraceLogger(bus, path=path) as logger:
+            bus.emit(1.0, "custom", node=1)
+        # After close the logger is off the bus: later emits are not
+        # recorded and the file is flushed with what was written.
+        bus.emit(2.0, "custom", node=1)
+        assert logger.records_written == 1
+        assert len(load_trace(path)) == 1
+
+    def test_close_is_idempotent(self):
+        bus = TraceBus()
+        logger = TraceLogger(bus)
+        logger.close()
+        logger.close()
+
+    def test_load_trace_tolerates_truncated_final_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"t": 1.0, "cat": "tx", "node": 1, "data": {}}\n'
+            '{"t": 2.0, "cat": "rx", "no'  # writer died mid-record
+        )
+        records = load_trace(path)
+        assert len(records) == 1
+        assert records[0].category == "tx"
+
+    def test_load_trace_rejects_malformed_middle_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"t": 1.0, "cat": "tx", "node": 1, "data": {}}\n'
+            "not json at all\n"
+            '{"t": 3.0, "cat": "rx", "node": 2, "data": {}}\n'
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_load_trace_ignores_trailing_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"t": 1.0, "cat": "tx", "node": 1, "data": {}}\n\n\n'
+        )
+        assert len(load_trace(path)) == 1
+
+
+class TestSummarizeEdgeCases:
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.record_count == 0
+        assert summary.duration == 0.0
+        assert summary.by_category == {}
+        assert summary.tx_bytes_by_node == {}
+
+    def test_unknown_categories_counted_not_fatal(self):
+        from repro.sim import TraceRecord
+
+        records = [
+            TraceRecord(time=0.5, category="exotic.event", node=7, data={}),
+            TraceRecord(time=1.5, category="exotic.event", node=7, data={}),
+        ]
+        summary = summarize_trace(records)
+        assert summary.by_category == {"exotic.event": 2}
+        assert summary.duration == 1.0
+
+    def test_campaign_summary_without_end_record(self):
+        from repro.analysis.tracelog import summarize_campaign
+        from repro.sim import TraceRecord
+
+        records = [
+            TraceRecord(time=0.0, category="campaign.begin", node=None,
+                        data={"total": 3}),
+            TraceRecord(time=1.0, category="campaign.trial", node=None,
+                        data={"status": "done", "index": 0, "elapsed": 1.0}),
+            TraceRecord(time=2.0, category="campaign.trial", node=None,
+                        data={"status": "failed", "index": 1}),
+            # No campaign.end: the run was interrupted before finishing.
+        ]
+        summary = summarize_campaign(records)
+        assert summary.trials == 3
+        assert summary.done == 1
+        assert summary.failed == 1
+        assert summary.executed == 2
+        assert summary.wall_time == 0.0
+        assert not summary.interrupted
+
+    def test_campaign_summary_empty(self):
+        from repro.analysis.tracelog import summarize_campaign
+
+        summary = summarize_campaign([])
+        assert summary.trials == 0
+        assert summary.executed == 0

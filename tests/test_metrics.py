@@ -1,0 +1,157 @@
+"""Tests for the metrics registry (repro.sim.metrics)."""
+
+from repro.sim import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    current_registry,
+    use_registry,
+)
+from repro.sim.metrics import _NullInstrument
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("tx")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_streams_moments(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.mean == 2.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+
+    def test_instruments_memoized_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        assert registry.counter("drops", reason="x") is registry.counter(
+            "drops", reason="x"
+        )
+        assert registry.counter("drops", reason="x") is not registry.counter(
+            "drops", reason="y"
+        )
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", x=1, y=2)
+        b = registry.counter("m", y=2, x=1)
+        assert a is b
+
+
+class TestNullRegistry:
+    def test_disabled_registry_hands_out_shared_noop(self):
+        a = NULL_REGISTRY.counter("tx")
+        b = NULL_REGISTRY.histogram("depth")
+        assert isinstance(a, _NullInstrument)
+        assert a is b
+
+    def test_noop_instrument_absorbs_everything(self):
+        instrument = NULL_REGISTRY.counter("x")
+        instrument.inc()
+        instrument.set(9)
+        instrument.observe(1.0)
+        assert instrument.value == 0
+        assert NULL_REGISTRY.empty
+
+    def test_registry_truthiness_tracks_enabled(self):
+        assert MetricsRegistry()
+        assert not NULL_REGISTRY
+
+
+class TestUseRegistry:
+    def test_default_is_null(self):
+        assert current_registry() is NULL_REGISTRY
+
+    def test_block_installs_and_restores(self):
+        with use_registry() as registry:
+            assert current_registry() is registry
+            assert registry.enabled
+        assert current_registry() is NULL_REGISTRY
+
+    def test_nesting_is_a_stack(self):
+        with use_registry() as outer:
+            with use_registry() as inner:
+                assert current_registry() is inner
+            assert current_registry() is outer
+
+    def test_explicit_registry_honoured(self):
+        mine = MetricsRegistry()
+        with use_registry(mine) as registry:
+            assert registry is mine
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("tx").inc(2)
+        registry.gauge("depth").set(4)
+        registry.histogram("lat").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"tx": 2}
+        assert snap["gauges"] == {"depth": 4}
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert snap["histograms"]["lat"]["mean"] == 0.5
+
+    def test_labels_flattened_into_names(self):
+        registry = MetricsRegistry()
+        registry.counter("drops", reason="queue-full").inc()
+        assert "drops{reason=queue-full}" in registry.snapshot()["counters"]
+
+    def test_empty_and_format(self):
+        registry = MetricsRegistry()
+        assert registry.empty
+        registry.counter("tx").inc()
+        assert not registry.empty
+        assert "tx" in registry.format()
+
+
+class TestStackIntegration:
+    def test_sensor_network_populates_active_registry(self):
+        from repro.naming import AttributeVector
+        from repro.naming.keys import Key
+        from repro.radio import Topology
+        from repro.testbed import SensorNetwork
+
+        with use_registry() as registry:
+            net = SensorNetwork(Topology.line(3, spacing=15.0), seed=2)
+            sub = AttributeVector.builder().eq(Key.TYPE, "m").build()
+            got = []
+            net.api(0).subscribe(sub, lambda a, m: got.append(m))
+            pub = net.api(2).publish(
+                AttributeVector.builder().actual(Key.TYPE, "m").build()
+            )
+            for i in range(4):
+                net.sim.schedule(
+                    2.0 + 2.0 * i, net.api(2).send, pub,
+                    AttributeVector.builder().actual(Key.SEQUENCE, i).build(),
+                )
+            net.run(until=20.0)
+        snap = registry.snapshot()
+        assert got, "sanity: data should reach the sink"
+        assert snap["counters"]["diffusion.delivered"] == len(got)
+        assert snap["counters"]["diffusion.tx.messages"] > 0
+        assert snap["counters"]["channel.fragments_sent"] > 0
+        assert snap["counters"]["mac.enqueued"] > 0
+        assert snap["histograms"]["mac.queue_depth"]["count"] > 0
+
+    def test_without_registry_network_records_nothing(self):
+        from repro.radio import Topology
+        from repro.testbed import SensorNetwork
+
+        assert current_registry() is NULL_REGISTRY
+        net = SensorNetwork(Topology.line(2, spacing=15.0), seed=2)
+        net.run(until=1.0)
+        assert NULL_REGISTRY.empty

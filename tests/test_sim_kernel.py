@@ -151,3 +151,76 @@ def test_events_processed_counter():
         sim.schedule(float(i), lambda: None)
     sim.run()
     assert sim.events_processed == 5
+
+
+def test_no_profiler_by_default():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.profiler is None
+
+
+def test_enable_profiler_is_idempotent():
+    sim = Simulator()
+    profiler = sim.enable_profiler()
+    assert sim.enable_profiler() is profiler
+    assert sim.profiler is profiler
+
+
+def test_profiler_counts_events_and_sites():
+    sim = Simulator()
+    profiler = sim.enable_profiler()
+
+    def noop():
+        pass
+
+    sim.schedule(1.0, noop)
+    sim.schedule(2.0, noop)
+    sim.schedule(3.0, lambda: None, name="named.site")
+    sim.run()
+    assert profiler.events == 3
+    # Unnamed events are keyed by the callback's qualified name;
+    # named events by their explicit name.
+    sites = set(profiler.sites)
+    assert "named.site" in sites
+    assert any("noop" in site for site in sites)
+    noop_site = next(s for s in sites if "noop" in s)
+    assert profiler.sites[noop_site][0] == 2
+
+
+def test_profiler_tracks_max_queue_depth():
+    sim = Simulator()
+    profiler = sim.enable_profiler()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert profiler.max_queue_depth == 5
+
+
+def test_profiler_snapshot_shape():
+    sim = Simulator()
+    profiler = sim.enable_profiler()
+    sim.schedule(1.0, lambda: None, name="a")
+    sim.run()
+    snap = profiler.snapshot()
+    assert snap["events"] == 1
+    assert snap["max_queue_depth"] >= 1
+    assert snap["busy_seconds"] >= 0.0
+    assert snap["events_per_second"] >= 0.0
+    (site,) = snap["sites"]
+    assert site["site"] == "a"
+    assert site["count"] == 1
+    assert site["seconds"] >= 0.0
+    assert site["mean_us"] >= 0.0
+
+
+def test_profiler_sites_sorted_by_time_spent():
+    import time as _time
+
+    sim = Simulator()
+    profiler = sim.enable_profiler()
+    sim.schedule(1.0, lambda: None, name="cheap")
+    sim.schedule(2.0, lambda: _time.sleep(0.005), name="dear")
+    sim.run()
+    sites = [entry["site"] for entry in profiler.snapshot()["sites"]]
+    assert sites == ["dear", "cheap"]

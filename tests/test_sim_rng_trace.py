@@ -80,3 +80,46 @@ class TestTraceBus:
         bus.emit(2.0, "rx")
         assert len(collector.records) == 2
         assert len(collector.by_category("tx")) == 1
+
+
+class TestTraceCollectorLifecycle:
+    def test_detach_stops_recording_but_keeps_records(self):
+        bus = TraceBus()
+        collector = TraceCollector(bus)
+        bus.emit(1.0, "tx")
+        assert collector.attached
+        collector.detach()
+        assert not collector.attached
+        bus.emit(2.0, "tx")
+        assert len(collector.records) == 1
+
+    def test_detach_is_idempotent(self):
+        bus = TraceBus()
+        collector = TraceCollector(bus)
+        collector.detach()
+        collector.detach()
+        assert not collector.attached
+
+    def test_context_manager_detaches_on_exit(self):
+        bus = TraceBus()
+        with TraceCollector(bus) as collector:
+            bus.emit(1.0, "tx")
+            assert collector.attached
+        assert not collector.attached
+        bus.emit(2.0, "tx")
+        assert len(collector.records) == 1
+
+    def test_detached_collector_restores_fast_emit_path(self):
+        bus = TraceBus()
+        with TraceCollector(bus, category="tx"):
+            pass
+        # With the only listener gone, emit takes the cheap no-listener
+        # exit again: the category's listener list must be empty.
+        assert bus._listeners.get("tx") == []
+
+    def test_category_scoped_collector(self):
+        bus = TraceBus()
+        with TraceCollector(bus, category="tx") as collector:
+            bus.emit(1.0, "tx")
+            bus.emit(2.0, "rx")
+        assert [r.category for r in collector.records] == ["tx"]
