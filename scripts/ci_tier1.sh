@@ -10,6 +10,11 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q -m "not slow"
 
+# Matching-engine perf smoke: deterministic comparison *counts* (not
+# wall time, so it cannot flake) must drop >=5x on a 50-entry matching
+# workload versus the reference Figure 2 scan.
+python -m repro.experiments.matchbench --smoke
+
 store="$(mktemp -d)"
 trap 'rm -rf "$store"' EXIT
 python -m repro campaign run scale-aggregation --quick --jobs 1 --store "$store"

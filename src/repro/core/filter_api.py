@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
-from repro.naming import AttributeVector, one_way_match
+from repro.naming import AttributeVector, fast_one_way_match
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.messages import Message
@@ -43,7 +43,7 @@ class Filter:
     attrs: AttributeVector
     priority: int
     callback: Callable[["Message", FilterHandle], None]
-    handle: FilterHandle = field(default=None)
+    handle: Optional[FilterHandle] = field(default=None)
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -56,6 +56,10 @@ class Filter:
         """Filter attrs one-way match the message's effective attributes.
 
         The message side contributes the implicit ``class IS <type>``
-        actual so filters can select interests vs data.
+        actual so filters can select interests vs data.  Runs on the
+        fast-path matcher: the filter's formal key-set is precomputed
+        once on its (immutable) attribute vector, so non-matching
+        messages are usually rejected by a frozenset subset test
+        before any value comparison.
         """
-        return one_way_match(list(self.attrs), list(message.matching_attrs()))
+        return fast_one_way_match(self.attrs, message.matching_attrs())

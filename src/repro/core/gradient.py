@@ -17,10 +17,11 @@ The table is keyed by interest digest.  Each entry tracks:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.naming import AttributeVector, one_way_match
+from repro.naming import AttributeVector, MatchIndex
 
 
 @dataclass
@@ -109,7 +110,9 @@ class InterestEntry:
 
     def has_demand(self, now: float) -> bool:
         """Anyone (local or remote) still asking for this data?"""
-        return self.local_sink or bool(self.active_gradient_neighbors(now))
+        if self.local_sink:
+            return True
+        return any(g.active(now) for g in self.gradients.values())
 
     # -- reinforcement ----------------------------------------------------------
 
@@ -188,20 +191,41 @@ class InterestEntry:
     # -- housekeeping ---------------------------------------------------------------
 
     def sweep(self, now: float) -> None:
-        """Drop expired gradients and reinforcements."""
-        self.gradients = {
-            n: g for n, g in self.gradients.items() if g.active(now)
-        }
-        self.reinforced = {
-            k: r for k, r in self.reinforced.items() if r.active(now)
-        }
+        """Drop expired gradients and reinforcements.
+
+        The periodic sweep usually finds nothing expired, so the dicts
+        are only rebuilt when at least one entry actually lapsed.
+        """
+        if any(not g.active(now) for g in self.gradients.values()):
+            self.gradients = {
+                n: g for n, g in self.gradients.items() if g.active(now)
+            }
+        if any(not r.active(now) for r in self.reinforced.values()):
+            self.reinforced = {
+                k: r for k, r in self.reinforced.items() if r.active(now)
+            }
 
 
 class GradientTable:
     """All interest entries known at one node."""
 
-    def __init__(self) -> None:
+    #: bound on the data-digest -> candidate-entries memo
+    DATA_MEMO_CAPACITY = 1024
+
+    def __init__(self, match_index: Optional[MatchIndex] = None) -> None:
         self._entries: Dict[bytes, InterestEntry] = {}
+        #: memoizing fast-path matcher for the per-data-message
+        #: forwarding decision (see :mod:`repro.naming.engine`).
+        self.match_index = match_index if match_index is not None else MatchIndex()
+        # Second memo level: data digest -> entries whose formals the
+        # data satisfies, regardless of demand (matching is
+        # time-independent; demand is filtered per lookup).  Cleared on
+        # any entry add/remove, which is rare next to data traffic.
+        self._data_memo: "OrderedDict[bytes, Tuple[InterestEntry, ...]]" = (
+            OrderedDict()
+        )
+        self.data_memo_hits = 0
+        self.data_memo_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -216,6 +240,8 @@ class GradientTable:
         if entry is None:
             entry = InterestEntry(digest=digest, attrs=attrs)
             self._entries[digest] = entry
+            self.match_index.invalidate(digest)
+            self._data_memo.clear()
         return entry
 
     def get(self, digest: bytes) -> Optional[InterestEntry]:
@@ -228,14 +254,31 @@ class GradientTable:
 
         The in-network forwarding decision: interest -> data one-way
         match, restricted to entries that still have active demand.
+        Verdicts are identical to the Figure 2 reference scan; the cost
+        is not.  Steady-state lookups are one dict probe: the candidate
+        entry set per data digest is memoized (matching is independent
+        of time), and only the cheap demand filter runs per message.
+        Cold lookups fall back to the per-pair memoizing
+        :class:`~repro.naming.engine.MatchIndex`.
         """
-        matches = []
-        for entry in self._entries.values():
-            if not entry.has_demand(now):
-                continue
-            if one_way_match(list(entry.attrs), list(data_attrs)):
-                matches.append(entry)
-        return matches
+        digest = data_attrs.digest()
+        memo = self._data_memo
+        cached = memo.get(digest)
+        if cached is None:
+            self.data_memo_misses += 1
+            index = self.match_index
+            cached = tuple(
+                entry
+                for entry in self._entries.values()
+                if index.one_way(entry.attrs, data_attrs)
+            )
+            memo[digest] = cached
+            if len(memo) > self.DATA_MEMO_CAPACITY:
+                memo.popitem(last=False)
+        else:
+            self.data_memo_hits += 1
+            memo.move_to_end(digest)
+        return [entry for entry in cached if entry.has_demand(now)]
 
     def sweep(self, now: float) -> None:
         """Expire gradients; drop entries with no state left at all."""
@@ -250,3 +293,6 @@ class GradientTable:
                 dead.append(digest)
         for digest in dead:
             del self._entries[digest]
+            self.match_index.invalidate(digest)
+        if dead:
+            self._data_memo.clear()

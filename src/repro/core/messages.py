@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.naming import AttributeVector, encoded_size
@@ -80,6 +80,12 @@ class Message:
     # their trigger's trace id so offline analysis can walk the chain.
     hop_count: int = 0
     parent_trace: Optional[str] = None
+    # Lazily-built ``attrs + class IS <type>`` vector; every filter in
+    # the pipeline consults it, so it is computed at most once per
+    # message object (forwarded copies rebuild it on demand).
+    _matching_attrs: Optional[AttributeVector] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.msg_id == 0:
@@ -107,10 +113,17 @@ class Message:
     def matching_attrs(self) -> AttributeVector:
         """Attributes used for filter matching: payload attrs plus the
         implicit ``class IS <type>`` actual (paper Section 3.2)."""
-        class_attr = Attribute(
-            int(Key.CLASS), ValueType.INT32, Operator.IS, int(self.msg_type.class_value)
-        )
-        return self.attrs.with_attribute(class_attr)
+        cached = self._matching_attrs
+        if cached is None:
+            class_attr = Attribute(
+                int(Key.CLASS),
+                ValueType.INT32,
+                Operator.IS,
+                int(self.msg_type.class_value),
+            )
+            cached = self.attrs.with_attribute(class_attr)
+            self._matching_attrs = cached
+        return cached
 
     def forwarded_copy(self, next_hop: Optional[int]) -> "Message":
         """A copy for retransmission: same identity, new next hop."""

@@ -11,6 +11,13 @@ from repro.naming.attribute import (
     Operator,
     ValueType,
 )
+from repro.naming.engine import (
+    MatchIndex,
+    MatchIndexStats,
+    MatchProfile,
+    fast_one_way_match,
+    fast_two_way_match,
+)
 from repro.naming.keys import (
     Key,
     KeyRegistry,
@@ -36,6 +43,11 @@ __all__ = [
     "STANDARD_KEYS",
     "key_name",
     "MatchStats",
+    "MatchIndex",
+    "MatchIndexStats",
+    "MatchProfile",
+    "fast_one_way_match",
+    "fast_two_way_match",
     "one_way_match",
     "one_way_match_segregated",
     "two_way_match",

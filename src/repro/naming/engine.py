@@ -1,0 +1,234 @@
+"""Hot-path matching engine: indexed lookup and match memoization.
+
+The paper measures one-way matching as the dominant forwarding cost
+(Section 6.3) and suggests two remedies: segregating formals from
+actuals, and caching match results.  This module ships both as a fast
+path that is *provably equivalent* to the Figure 2 reference matcher
+(see ``tests/test_match_engine.py`` for the randomized equivalence
+suite) while leaving :func:`repro.naming.matching.one_way_match`
+untouched — the Figure 11 experiment depends on the reference
+implementation's literal operation counts.
+
+Three layers:
+
+* :class:`MatchProfile` — a per-vector precomputation (segregated
+  formals, actuals indexed by key, and frozenset key-sets) cached on
+  :class:`~repro.naming.vector.AttributeVector`, which is immutable, so
+  the index is built once per vector instead of once per match.
+* :func:`fast_one_way_match` / :func:`fast_two_way_match` — the
+  Section 6.3 segregated matcher running on cached profiles, with a
+  key-set subset test that rejects impossible matches before any
+  value comparison.
+* :class:`MatchIndex` — a bounded, memoizing
+  ``(interest_digest, data_digest) -> verdict`` cache used by
+  :class:`~repro.core.gradient.GradientTable` on the per-data-message
+  forwarding decision.  Steady-state diffusion traffic repeats the same
+  attribute vectors thousands of times, so the memo converts the
+  per-message match from O(formals x actuals) comparisons to a dict
+  lookup.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.naming.attribute import Attribute
+from repro.naming.matching import MatchStats
+
+
+class MatchProfile:
+    """Precomputed matching view of one attribute sequence.
+
+    Segregates formals from actuals ("since formals cannot match other
+    formals there is no need to compare them" — Section 6.3), indexes
+    the actuals by key, and exposes frozenset key-sets so callers can
+    reject impossible matches with a single subset test.
+    """
+
+    __slots__ = ("formals", "actuals_by_key", "formal_keys", "actual_keys")
+
+    def __init__(self, attrs: Iterable[Attribute]) -> None:
+        formals: List[Attribute] = []
+        actuals_by_key: Dict[int, List[Attribute]] = {}
+        for attr in attrs:
+            if attr.is_actual:
+                actuals_by_key.setdefault(attr.key, []).append(attr)
+            else:
+                formals.append(attr)
+        self.formals: Tuple[Attribute, ...] = tuple(formals)
+        self.actuals_by_key = actuals_by_key
+        self.formal_keys: FrozenSet[int] = frozenset(a.key for a in formals)
+        self.actual_keys: FrozenSet[int] = frozenset(actuals_by_key)
+
+    def can_be_satisfied_by(self, other: "MatchProfile") -> bool:
+        """Necessary condition for a one-way match: every formal key
+        must have at least one actual with the same key on the other
+        side (a formal with no same-key actual always fails, EQ_ANY
+        included)."""
+        return self.formal_keys <= other.actual_keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MatchProfile formals={len(self.formals)} "
+            f"actual_keys={sorted(self.actual_keys)}>"
+        )
+
+
+def profile_of(attrs) -> MatchProfile:
+    """The :class:`MatchProfile` for ``attrs``.
+
+    Uses the cached profile when ``attrs`` is an
+    :class:`~repro.naming.vector.AttributeVector`; plain attribute
+    sequences get a throwaway profile.
+    """
+    getter = getattr(attrs, "match_profile", None)
+    if getter is not None:
+        return getter()
+    return MatchProfile(attrs)
+
+
+def fast_one_way_match(
+    a,
+    b,
+    stats: Optional[MatchStats] = None,
+) -> bool:
+    """One-way match on cached profiles: do B's actuals satisfy all of
+    A's formals?
+
+    Verdict-equivalent to :func:`repro.naming.matching.one_way_match`
+    for every input (the equivalence suite asserts this over randomized
+    vectors); ``stats`` counts the *fast path's* operations, which is
+    the point — they drop relative to the reference scan.
+    """
+    pa = profile_of(a)
+    pb = profile_of(b)
+    if not pa.formal_keys <= pb.actual_keys:
+        # Some formal has no same-key actual to compare against; the
+        # reference matcher would fail at that formal after scanning.
+        return False
+    actuals = pb.actuals_by_key
+    for formal in pa.formals:
+        if stats is not None:
+            stats.formals_tested += 1
+        matched = False
+        for actual in actuals[formal.key]:
+            if stats is not None:
+                stats.comparisons += 1
+            if formal.compares_with(actual):
+                matched = True
+                break
+        if not matched:
+            return False
+    return True
+
+
+def fast_two_way_match(
+    a,
+    b,
+    stats: Optional[MatchStats] = None,
+) -> bool:
+    """Complete match on cached profiles (both one-way directions)."""
+    return fast_one_way_match(a, b, stats) and fast_one_way_match(b, a, stats)
+
+
+@dataclass
+class MatchIndexStats:
+    """Counters describing how the index resolved lookups."""
+
+    hits: int = 0
+    misses: int = 0
+    short_circuits: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.short_circuits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class MatchIndex:
+    """Memoizing interest -> data match with bounded LRU semantics.
+
+    Keys the memo on ``(interest_digest, data_digest)``; digests are
+    content hashes of immutable vectors, so a cached verdict can never
+    go stale — invalidation (on interest-entry add/sweep/teardown)
+    exists to bound memory to live interests and is exact thanks to a
+    per-interest reverse index.  Capacity is enforced with
+    least-recently-used eviction.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("MatchIndex capacity must be positive")
+        self.capacity = capacity
+        self.stats = MatchIndexStats()
+        #: comparison counters accumulated by memo-miss computations;
+        #: benchmarks read this to show the comparison-count drop.
+        self.match_stats = MatchStats()
+        self._memo: "OrderedDict[Tuple[bytes, bytes], bool]" = OrderedDict()
+        self._by_interest: Dict[bytes, Set[Tuple[bytes, bytes]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    @property
+    def comparisons(self) -> int:
+        """Total value comparisons performed by memo-miss computations."""
+        return self.match_stats.comparisons
+
+    def one_way(self, interest_attrs, data_attrs) -> bool:
+        """Do ``data_attrs``'s actuals satisfy all of
+        ``interest_attrs``'s formals?  Memoized by digest pair."""
+        if not profile_of(interest_attrs).can_be_satisfied_by(
+            profile_of(data_attrs)
+        ):
+            self.stats.short_circuits += 1
+            return False
+        key = (interest_attrs.digest(), data_attrs.digest())
+        memo = self._memo
+        cached = memo.get(key)
+        if cached is not None:
+            memo.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        verdict = fast_one_way_match(interest_attrs, data_attrs, self.match_stats)
+        self.stats.misses += 1
+        memo[key] = verdict
+        self._by_interest.setdefault(key[0], set()).add(key)
+        if len(memo) > self.capacity:
+            self._evict_oldest()
+        return verdict
+
+    def _evict_oldest(self) -> None:
+        old_key, _ = self._memo.popitem(last=False)
+        self.stats.evictions += 1
+        keys = self._by_interest.get(old_key[0])
+        if keys is not None:
+            keys.discard(old_key)
+            if not keys:
+                del self._by_interest[old_key[0]]
+
+    def invalidate(self, interest_digest: bytes) -> int:
+        """Drop every memoized verdict for one interest digest.
+
+        Called when a gradient-table entry is created or torn down;
+        returns the number of memo entries removed.
+        """
+        keys = self._by_interest.pop(interest_digest, None)
+        if not keys:
+            return 0
+        for key in keys:
+            self._memo.pop(key, None)
+        self.stats.invalidations += len(keys)
+        return len(keys)
+
+    def clear(self) -> None:
+        self._memo.clear()
+        self._by_interest.clear()

@@ -17,7 +17,7 @@ Two implementations are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.naming.attribute import Attribute
 
@@ -37,7 +37,7 @@ class MatchStats:
 def one_way_match(
     a: Sequence[Attribute],
     b: Sequence[Attribute],
-    stats: MatchStats = None,
+    stats: Optional[MatchStats] = None,
 ) -> bool:
     """Figure 2 verbatim: do B's actuals satisfy all of A's formals?"""
     for attr_a in a:
@@ -65,7 +65,7 @@ def one_way_match(
 def one_way_match_segregated(
     a: Sequence[Attribute],
     b: Sequence[Attribute],
-    stats: MatchStats = None,
+    stats: Optional[MatchStats] = None,
 ) -> bool:
     """Optimized one-way match: index B's actuals by key first.
 
@@ -97,7 +97,7 @@ def one_way_match_segregated(
 def two_way_match(
     a: Sequence[Attribute],
     b: Sequence[Attribute],
-    stats: MatchStats = None,
+    stats: Optional[MatchStats] = None,
 ) -> bool:
     """Complete match: one-way matches succeed from A to B *and* B to A."""
     return one_way_match(a, b, stats) and one_way_match(b, a, stats)

@@ -18,6 +18,7 @@ import hashlib
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.naming.attribute import Attribute, Operator, Scalar, ValueType
+from repro.naming.engine import MatchProfile
 from repro.naming.matching import (
     MatchStats,
     one_way_match,
@@ -43,11 +44,12 @@ def _coerce_type(value: Scalar) -> ValueType:
 class AttributeVector:
     """An immutable, ordered list of :class:`Attribute`."""
 
-    __slots__ = ("_attrs", "_digest")
+    __slots__ = ("_attrs", "_digest", "_profile")
 
     def __init__(self, attrs: Iterable[Attribute] = ()) -> None:
         object.__setattr__(self, "_attrs", tuple(attrs))
         object.__setattr__(self, "_digest", None)
+        object.__setattr__(self, "_profile", None)
         for attr in self._attrs:
             if not isinstance(attr, Attribute):
                 raise TypeError(f"expected Attribute, got {attr!r}")
@@ -124,14 +126,25 @@ class AttributeVector:
 
     # -- matching ----------------------------------------------------------------
 
-    def matches(self, other: "AttributeVector", stats: MatchStats = None) -> bool:
+    def match_profile(self) -> MatchProfile:
+        """Cached matching precomputation (segregated formals/actuals
+        and key-sets) — safe because the vector is immutable.  The fast
+        matchers in :mod:`repro.naming.engine` use this so the key index
+        is built once per vector, not once per match."""
+        cached = object.__getattribute__(self, "_profile")
+        if cached is None:
+            cached = MatchProfile(self._attrs)
+            object.__setattr__(self, "_profile", cached)
+        return cached
+
+    def matches(self, other: "AttributeVector", stats: Optional[MatchStats] = None) -> bool:
         """Complete (two-way) match against ``other``."""
         return two_way_match(self._attrs, other._attrs, stats)
 
     def one_way_matches(
         self,
         other: "AttributeVector",
-        stats: MatchStats = None,
+        stats: Optional[MatchStats] = None,
         segregated: bool = False,
     ) -> bool:
         """One-way match: do ``other``'s actuals satisfy our formals?"""

@@ -87,10 +87,12 @@ class Event:
     """A scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` and may be cancelled.
-    A cancelled event stays in the heap but is skipped when popped.
+    A cancelled event stays in the heap but is skipped when popped; the
+    owning simulator counts cancellations and compacts the heap when
+    they dominate it (lazy deletion with bounded garbage).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name", "_owner")
 
     def __init__(
         self,
@@ -99,6 +101,7 @@ class Event:
         callback: Callable[..., Any],
         args: tuple,
         name: str = "",
+        owner: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -106,10 +109,15 @@ class Event:
         self.args = args
         self.cancelled = False
         self.name = name
+        self._owner = owner
 
     def cancel(self) -> None:
         """Prevent the callback from running; safe to call repeatedly."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -130,13 +138,19 @@ class Simulator:
         sim.run(until=3600.0)
     """
 
+    #: lazy-deletion bound: compact once cancelled events both exceed
+    #: this floor and outnumber the live half of the heap.
+    COMPACT_MIN_GARBAGE = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
+        self._cancelled = 0          # cancelled events still in the heap
         self.events_processed = 0
+        self.compactions = 0
         self._profiler: Optional[KernelProfiler] = None
 
     def enable_profiler(self) -> KernelProfiler:
@@ -159,7 +173,9 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self.now + delay, next(self._seq), callback, args, name=name)
+        event = Event(
+            self.now + delay, next(self._seq), callback, args, name=name, owner=self
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -175,7 +191,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        event = Event(time, next(self._seq), callback, args, name=name)
+        event = Event(time, next(self._seq), callback, args, name=name, owner=self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -185,40 +201,83 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of uncancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of uncancelled events still queued (O(1))."""
+        return len(self._heap) - self._cancelled
+
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` the first time an event owned
+        by this simulator is cancelled while still queued."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_MIN_GARBAGE
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events (lazy deletion)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0].time
+
+    def _pop_next(self, until: Optional[float]) -> Optional[Event]:
+        """Pop and return the next live event at or before ``until``.
+
+        Cancelled heap tops are discarded along the way.  Returns None
+        when the queue is empty or the next live event lies beyond the
+        horizon (that event stays queued).
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            if until is not None and head.time > until:
+                return None
+            return heapq.heappop(heap)
+        return None
+
+    def _dispatch(self, event: Event) -> None:
+        """Advance the clock to ``event`` and run its callback."""
+        if event.time < self.now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self.now = event.time
+        self.events_processed += 1
+        # The event has left the queue; a later cancel() must not skew
+        # the lazy-deletion accounting.
+        event._owner = None
+        profiler = self._profiler
+        if profiler is None:
+            event.callback(*event.args)
+        else:
+            profiler.note_depth(len(self._heap) + 1)
+            started = time.perf_counter()
+            event.callback(*event.args)
+            profiler.record(
+                event.name or getattr(event.callback, "__qualname__", "?"),
+                time.perf_counter() - started,
+            )
 
     def step(self) -> bool:
         """Run a single event.  Returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if event.time < self.now:
-                raise SimulationError("event heap corrupted: time went backwards")
-            self.now = event.time
-            self.events_processed += 1
-            profiler = self._profiler
-            if profiler is None:
-                event.callback(*event.args)
-            else:
-                profiler.note_depth(len(self._heap) + 1)
-                started = time.perf_counter()
-                event.callback(*event.args)
-                profiler.record(
-                    event.name or getattr(event.callback, "__qualname__", "?"),
-                    time.perf_counter() - started,
-                )
-            return True
-        return False
+        event = self._pop_next(None)
+        if event is None:
+            return False
+        self._dispatch(event)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events in order until the queue empties or limits hit.
@@ -226,6 +285,9 @@ class Simulator:
         ``until`` is an inclusive horizon: events at exactly ``until`` run.
         When the horizon is reached the clock is advanced to it, so that
         periodic statistics normalized by elapsed time are exact.
+
+        Each iteration pops the heap exactly once (the old loop peeked
+        then re-popped, paying the heap guard twice per event).
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
@@ -234,12 +296,10 @@ class Simulator:
         processed = 0
         try:
             while not self._stopped:
-                next_time = self.peek_time()
-                if next_time is None:
+                event = self._pop_next(until)
+                if event is None:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                self._dispatch(event)
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     break

@@ -214,6 +214,89 @@ def test_profiler_snapshot_shape():
     assert site["mean_us"] >= 0.0
 
 
+def test_pending_is_constant_time_accounting():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending == 10
+    for event in events[:4]:
+        event.cancel()
+    assert sim.pending == 6
+
+
+def test_mass_cancellation_triggers_compaction():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+    for event in events[:400]:
+        event.cancel()
+    assert sim.compactions >= 1
+    # Compaction physically bounds the garbage: cancelled events left in
+    # the heap never exceed max(floor, live entries).
+    assert sim.pending == 100
+    garbage = len(sim._heap) - sim.pending
+    assert garbage <= max(Simulator.COMPACT_MIN_GARBAGE, sim.pending)
+    fired = []
+    sim.schedule(1000.0, fired.append, "tail")
+    sim.run()
+    assert sim.events_processed == 101
+    assert fired == ["tail"]
+
+
+def test_compaction_preserves_event_order():
+    sim = Simulator()
+    fired = []
+    keep = []
+    for i in range(300):
+        event = sim.schedule(float(i + 1), fired.append, i)
+        if i % 3 != 0:
+            keep.append(i)
+        else:
+            event.cancel()
+    sim.run()
+    assert fired == keep
+
+
+def test_cancel_twice_counts_once():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    e1.cancel()
+    assert sim.pending == 1
+
+
+def test_cancel_after_fire_does_not_skew_pending():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.step()
+    event.cancel()  # already fired; must not count as queued garbage
+    assert sim.pending == 1
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_cancel_from_within_callback():
+    sim = Simulator()
+    fired = []
+    victim = sim.schedule(2.0, fired.append, "victim")
+    sim.schedule(1.0, victim.cancel)
+    sim.schedule(3.0, fired.append, "survivor")
+    sim.run()
+    assert fired == ["survivor"]
+
+
+def test_run_until_leaves_future_events_queued():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.pending == 1
+    sim.run()
+    assert fired == ["a", "b"]
+
+
 def test_profiler_sites_sorted_by_time_spent():
     import time as _time
 
