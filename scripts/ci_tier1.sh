@@ -15,6 +15,12 @@ python -m pytest -x -q -m "not slow"
 # workload versus the reference Figure 2 scan.
 python -m repro.experiments.matchbench --smoke
 
+# Radio-channel perf smoke: the indexed channel must produce verdicts
+# identical to the reference O(N) scan, and its carrier-sense scan
+# counter must track active transmitters while the reference's grows
+# with network size (again counters, not wall time).
+python -m repro.experiments.channelbench --smoke
+
 store="$(mktemp -d)"
 trap 'rm -rf "$store"' EXIT
 python -m repro campaign run scale-aggregation --quick --jobs 1 --store "$store"

@@ -9,9 +9,12 @@ identifiers the paper cites [16] as an alternative to persistent MACs.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+from repro.sim.rng import make_rng
 
 
 @dataclass
@@ -73,8 +76,13 @@ class EphemeralIdAllocator:
     essential behaviour of ephemeral transaction identifiers.
     """
 
+    #: distinguishes default-constructed allocators: with a shared
+    #: random.Random(0) every node would draw the *same* id sequence —
+    #: guaranteed collisions, the opposite of what the scheme wants.
+    _instances = itertools.count()
+
     def __init__(self, rng: Optional[random.Random] = None, id_bits: int = 16) -> None:
-        self.rng = rng or random.Random(0)
+        self.rng = rng or make_rng(0, f"ephemeral-id:{next(self._instances)}")
         self.id_space = 2**id_bits
         self._in_use: set = set()
 

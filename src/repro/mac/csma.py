@@ -16,6 +16,7 @@ from repro.mac.base import Mac
 from repro.radio.modem import Modem
 from repro.sim import Simulator, TraceBus
 from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import make_rng
 
 
 class CsmaMac(Mac):
@@ -35,7 +36,10 @@ class CsmaMac(Mac):
     ) -> None:
         super().__init__(sim, modem, queue_limit=queue_limit, trace=trace,
                          metrics=metrics)
-        self.rng = rng or random.Random(0)
+        # A shared random.Random(0) here would give every node the same
+        # backoff stream — contending nodes would draw identical delays
+        # and re-collide forever.  Derive a per-node stream instead.
+        self.rng = rng or make_rng(0, f"csma-mac:{modem.node_id}")
         self.min_backoff = min_backoff
         self.max_backoff = max_backoff
         self.interframe_gap = interframe_gap

@@ -10,13 +10,28 @@ PRR from the sender is non-zero.  Reception fails when:
 * the per-link loss draw exceeded the link PRR.
 
 The channel also answers carrier-sense queries for the MAC layer.
+
+Two delivery engines share the verdict logic:
+
+* the **reference scan** probes every attached modem per fragment and
+  per carrier-sense query — O(N) each, the behaviour (and cost) of the
+  original channel, kept as the equivalence baseline;
+* the **neighborhood fast path** (default whenever the propagation
+  model implements the protocol in
+  :class:`~repro.radio.propagation.FastPathPropagation`) walks only the
+  sender's cached audibility set, answers carrier sense from an
+  active-transmitter registry, and finalizes all of a fragment's
+  receptions in one simulator event.  Verdicts are bit-identical by
+  construction (supersets re-checked against exact memoized PRRs);
+  tests/test_channel_equivalence.py proves it on seeded scenarios.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.radio.neighborhood import NeighborhoodIndex, supports_fast_path
 from repro.sim import Simulator, TraceBus, trace_id_of
 from repro.sim.metrics import MetricsRegistry, current_registry
 from repro.sim.rng import SeedSequence
@@ -41,8 +56,8 @@ class _Reception:
     prr: float
     corrupted: bool = False
     # Why the reception failed, for loss attribution ("collision",
-    # "half-duplex", "channel-loss"); meaningful only when corrupted
-    # or on the loss paths in _finish_reception.
+    # "half-duplex", "channel-loss", "detached"); meaningful only when
+    # corrupted or on the loss paths in _finalize_reception.
     reason: str = "collision"
 
 
@@ -72,6 +87,7 @@ class Channel:
         trace: Optional[TraceBus] = None,
         capture_effect: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        indexed: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.propagation = propagation
@@ -91,19 +107,68 @@ class Channel:
         )
         self._loss_rng = (seeds or SeedSequence(1)).stream("channel-loss")
         self._modems: Dict[int, Any] = {}
-        # Per-receiver set of in-progress receptions, for collision marking.
-        self._receiving: Dict[int, List[_Reception]] = {}
+        # Per-receiver in-progress receptions keyed by transmission
+        # seqno, for collision marking and O(1) completion.
+        self._receiving: Dict[int, Dict[int, _Reception]] = {}
+        # Active-transmitter registry (fast path): src -> Transmission.
+        # Entries leave via transmission_ended or a lazy carrier-sense
+        # purge; the modem's transmitting flag stays authoritative.
+        self._active: Dict[int, Transmission] = {}
+        if indexed is None:
+            indexed = supports_fast_path(propagation)
+        self.index: Optional[NeighborhoodIndex] = (
+            NeighborhoodIndex(propagation, self.CARRIER_SENSE_THRESHOLD)
+            if indexed
+            else None
+        )
         self._seqno = 0
         # Statistics.
         self.fragments_sent = 0
         self.fragments_delivered = 0
         self.fragments_collided = 0
         self.fragments_lost = 0
+        # Carrier-sense cost accounting: links examined per query.  The
+        # reference scan grows with N, the indexed scan with the number
+        # of active transmitters (the channelbench smoke asserts this).
+        self.carrier_queries = 0
+        self.carrier_checks = 0
+
+    @property
+    def indexed(self) -> bool:
+        return self.index is not None
 
     def attach(self, modem: Any) -> None:
         if modem.node_id in self._modems:
             raise ValueError(f"modem {modem.node_id} already attached")
         self._modems[modem.node_id] = modem
+        if self.index is not None:
+            self.index.add_node(modem.node_id)
+
+    def detach(self, node_id: int) -> Any:
+        """Remove a node from the medium (death, decommissioning).
+
+        Pending receptions at the node are voided, its in-flight
+        transmission (if any) leaves the active registry, and it drops
+        out of every audibility and carrier-sense set — a dead node is
+        never scanned again.  Returns the detached modem; re-attach it
+        to model recovery.
+        """
+        modem = self._modems.pop(node_id, None)
+        if modem is None:
+            raise ValueError(f"modem {node_id} is not attached")
+        self._active.pop(node_id, None)
+        pending = self._receiving.pop(node_id, None)
+        if pending:
+            for reception in pending.values():
+                reception.corrupted = True
+                reception.reason = "detached"
+        if self.index is not None:
+            self.index.remove_node(node_id)
+        return modem
+
+    def transmission_ended(self, src: int) -> None:
+        """Modem callback: ``src``'s fragment finished its airtime."""
+        self._active.pop(src, None)
 
     def node_ids(self) -> List[int]:
         return sorted(self._modems)
@@ -112,14 +177,55 @@ class Channel:
 
     def carrier_busy(self, node_id: int) -> bool:
         """Is any transmission audible at ``node_id`` right now?"""
+        self.carrier_queries += 1
         now = self.sim.now
-        for modem in self._modems.values():
-            if modem.node_id == node_id or not modem.transmitting:
+        index = self.index
+        if index is None:
+            for modem in self._modems.values():
+                if modem.node_id == node_id:
+                    continue
+                self.carrier_checks += 1
+                if not modem.transmitting:
+                    continue
+                prr = self.propagation.link_prr(modem.node_id, node_id, now)
+                if prr >= self.CARRIER_SENSE_THRESHOLD:
+                    return True
+            return False
+        index.sync()
+        prr_memo = index.prr_memo
+        carrier_map = index.carrier_map
+        busy = False
+        stale: Optional[List[int]] = None
+        for src in self._active:
+            modem = self._modems.get(src)
+            if modem is None or not modem.transmitting:
+                if stale is None:
+                    stale = []
+                stale.append(src)
                 continue
-            prr = self.propagation.link_prr(modem.node_id, node_id, now)
+            if src == node_id:
+                continue
+            self.carrier_checks += 1
+            candidates = carrier_map.get(src)
+            if candidates is None:
+                candidates = index.carrier_candidates(src)
+            if node_id not in candidates:
+                continue
+            # Inline memo hit (nothing in this loop can move the epoch);
+            # misses fall back to the full windowed lookup.
+            cached = prr_memo.get((src, node_id))
+            if cached is not None and now < cached[1]:
+                index.memo_hits += 1
+                prr = cached[0]
+            else:
+                prr = index.link_prr(src, node_id, now)
             if prr >= self.CARRIER_SENSE_THRESHOLD:
-                return True
-        return False
+                busy = True
+                break
+        if stale:
+            for src in stale:
+                self._active.pop(src, None)
+        return busy
 
     # -- transmission -------------------------------------------------------
 
@@ -151,48 +257,103 @@ class Channel:
         self._m_sent.inc()
         self.trace.emit(now, "channel.tx", node=src, nbytes=nbytes, dst=link_dst)
 
-        for node_id, modem in self._modems.items():
-            if node_id == src:
-                continue
-            prr = self.propagation.link_prr(src, node_id, now)
+        index = self.index
+        if index is None:
+            for node_id, modem in self._modems.items():
+                if node_id == src:
+                    continue
+                prr = self.propagation.link_prr(src, node_id, now)
+                if prr <= 0.0:
+                    continue
+                reception = self._admit_reception(tx, node_id, modem, prr)
+                self.sim.schedule(
+                    duration, self._finish_reception, node_id, reception,
+                    name="channel.rx",
+                )
+            return tx
+
+        self._active[src] = tx
+        modems = self._modems
+        audible = index.audible_from(src)  # syncs the epoch
+        prr_memo = index.prr_memo
+        batch: Optional[List[Tuple[int, _Reception]]] = None
+        for node_id in audible:
+            # Inline memo hit (nothing in this loop can move the epoch);
+            # misses fall back to the full windowed lookup.
+            cached = prr_memo.get((src, node_id))
+            if cached is not None and now < cached[1]:
+                index.memo_hits += 1
+                prr = cached[0]
+            else:
+                prr = index.link_prr(src, node_id, now)
             if prr <= 0.0:
                 continue
-            reception = _Reception(transmission=tx, prr=prr)
-            in_progress = self._receiving.setdefault(node_id, [])
-            if modem.transmitting or getattr(modem, "sleeping", False):
-                # Half-duplex, and sleeping radios hear nothing.
-                reception.corrupted = True
-                reception.reason = "half-duplex"
-            if in_progress:
-                # Overlap: the stronger signal may capture the receiver;
-                # comparable signals corrupt each other.
-                for other in in_progress:
-                    survives = self.capture_effect and (
-                        other.prr >= self.CAPTURE_STRONG
-                        and reception.prr <= self.CAPTURE_WEAK
-                    )
-                    if not survives and not other.corrupted:
-                        other.corrupted = True
-                        self.fragments_collided += 1
-                captured_over_all = self.capture_effect and all(
-                    reception.prr >= self.CAPTURE_STRONG
-                    and other.prr <= self.CAPTURE_WEAK
-                    for other in in_progress
-                )
-                if not captured_over_all and not reception.corrupted:
-                    reception.corrupted = True
-                    self.fragments_collided += 1
-            in_progress.append(reception)
+            reception = self._admit_reception(tx, node_id, modems[node_id], prr)
+            if batch is None:
+                batch = []
+            batch.append((node_id, reception))
+        if batch is not None:
+            # One simulator event finalizes every reception of this
+            # fragment.  All its receptions end at the same instant with
+            # consecutive sequence numbers, so no foreign event can
+            # observe the difference — outcomes and trace order match
+            # the reference per-reception events exactly.
             self.sim.schedule(
-                duration, self._finish_reception, node_id, reception,
-                name="channel.rx",
+                duration, self._finish_transmission, batch, name="channel.rx"
             )
         return tx
 
+    def _admit_reception(
+        self, tx: Transmission, node_id: int, modem: Any, prr: float
+    ) -> _Reception:
+        """Create the reception at ``node_id`` and mark collisions with
+        whatever is already in the air there."""
+        reception = _Reception(transmission=tx, prr=prr)
+        in_progress = self._receiving.setdefault(node_id, {})
+        if modem.transmitting or getattr(modem, "sleeping", False):
+            # Half-duplex, and sleeping radios hear nothing.
+            reception.corrupted = True
+            reception.reason = "half-duplex"
+        if in_progress:
+            # Overlap: the stronger signal may capture the receiver;
+            # comparable signals corrupt each other.
+            for other in in_progress.values():
+                survives = self.capture_effect and (
+                    other.prr >= self.CAPTURE_STRONG
+                    and reception.prr <= self.CAPTURE_WEAK
+                )
+                if not survives and not other.corrupted:
+                    other.corrupted = True
+                    self.fragments_collided += 1
+            captured_over_all = self.capture_effect and all(
+                reception.prr >= self.CAPTURE_STRONG
+                and other.prr <= self.CAPTURE_WEAK
+                for other in in_progress.values()
+            )
+            if not captured_over_all and not reception.corrupted:
+                reception.corrupted = True
+                self.fragments_collided += 1
+        in_progress[tx.seqno] = reception
+        return reception
+
     def _finish_reception(self, node_id: int, reception: _Reception) -> None:
-        in_progress = self._receiving.get(node_id, [])
-        if reception in in_progress:
-            in_progress.remove(reception)
+        in_progress = self._receiving.get(node_id)
+        if in_progress is not None:
+            in_progress.pop(reception.transmission.seqno, None)
+        self._finalize_reception(node_id, reception)
+
+    def _finish_transmission(self, batch: List[Tuple[int, _Reception]]) -> None:
+        receiving = self._receiving
+        for node_id, reception in batch:
+            in_progress = receiving.get(node_id)
+            if in_progress is not None:
+                in_progress.pop(reception.transmission.seqno, None)
+            self._finalize_reception(node_id, reception)
+
+    def _finalize_reception(self, node_id: int, reception: _Reception) -> None:
+        if reception.reason == "detached":
+            # The receiver left the medium mid-flight; nothing to record.
+            return
         modem = self._modems.get(node_id)
         if modem is None:
             return

@@ -139,7 +139,9 @@ class FailureSchedule:
 
     def _recover(self, node_id: int) -> None:
         stack = self.network.stack(node_id)
-        # Reattach the radio receive path and the MAC's queue.
+        # Rejoin the medium (failure detached the modem), then reattach
+        # the radio receive path and the MAC's queue.
+        self.network.channel.attach(stack.modem)
         stack.modem.receive_callback = stack.frag._on_modem_fragment
         stack.mac.enqueue = type(stack.mac).enqueue.__get__(stack.mac)
         self.recoveries_applied += 1

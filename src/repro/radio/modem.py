@@ -99,6 +99,9 @@ class Modem:
 
     def _transmit_done(self) -> None:
         self.transmitting = False
+        # Retire this node from the channel's active-transmitter
+        # registry in step with the flag (carrier sense consults both).
+        self.channel.transmission_ended(self.node_id)
         callback = self._tx_done_callback
         self._tx_done_callback = None
         if callback is not None:

@@ -31,6 +31,41 @@ class PropagationModel(Protocol):
         ...  # pragma: no cover
 
 
+class FastPathPropagation(PropagationModel, Protocol):
+    """Optional extension consumed by :mod:`repro.radio.neighborhood`.
+
+    A model supporting the radio fast path additionally promises:
+
+    * :meth:`prr_epoch` — an opaque version token.  While the token is
+      unchanged, :meth:`link_prr_bound` is constant per directed link
+      and :meth:`link_prr_window` results remain valid until their own
+      expiry.  Geometry changes (``Topology.move_node``), table edits,
+      and anything else that can alter a link's *bound* must change the
+      token.
+    * :meth:`link_prr_bound` — an upper bound on ``link_prr(src, dst,
+      t)`` over all ``t`` within the current epoch.  Used to build
+      audibility (> 0) and carrier-sense (>= threshold) candidate sets;
+      it may overestimate (candidates are re-checked per query) but must
+      never underestimate, or deliveries would be silently skipped.
+    * :meth:`link_prr_window` — the exact PRR at ``now`` plus the
+      absolute time until which that value stays constant (``math.inf``
+      for purely static models).  Time-driven state such as a
+      Gilbert–Elliot flip is expressed through this per-link expiry
+      rather than the global epoch, because flips are discovered lazily
+      at query time — a global counter alone could not invalidate a
+      memoized link the moment its own state silently changed.
+    """
+
+    def prr_epoch(self) -> object:
+        ...  # pragma: no cover
+
+    def link_prr_bound(self, src: int, dst: int) -> float:
+        ...  # pragma: no cover
+
+    def link_prr_window(self, src: int, dst: int, now: float) -> Tuple[float, float]:
+        ...  # pragma: no cover
+
+
 class DistancePropagation:
     """Distance-driven PRR with deterministic per-link asymmetry.
 
@@ -89,12 +124,34 @@ class DistancePropagation:
         perturbed = distance * self._link_factor(src, dst)
         return self.base_prr(perturbed)
 
+    # -- fast-path protocol (repro.radio.neighborhood) ----------------------
+
+    def prr_epoch(self) -> object:
+        return self.topology.version
+
+    def link_prr_bound(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        # Geometric upper bound: the per-link factor shrinks the
+        # effective distance by at most (1 - asymmetry), so evaluating
+        # the ramp there can only overestimate the PRR.  This keeps the
+        # O(N^2) candidate-set build from materializing a derived RNG
+        # for every far-out-of-range pair; audible candidates are
+        # re-checked with the exact PRR per query.
+        distance = self.topology.effective_distance(src, dst)
+        return self.base_prr(distance * (1.0 - self.asymmetry))
+
+    def link_prr_window(self, src: int, dst: int, now: float) -> Tuple[float, float]:
+        # Purely geometric: constant until the topology version bumps.
+        return self.link_prr(src, dst, now), math.inf
+
 
 class TablePropagation:
     """Explicit per-directed-link PRRs; absent links are out of range."""
 
     def __init__(self, links: Optional[Dict[Tuple[int, int], float]] = None) -> None:
         self._links: Dict[Tuple[int, int], float] = {}
+        self._version = 0
         for (src, dst), prr in (links or {}).items():
             self.set_link(src, dst, prr)
 
@@ -104,17 +161,30 @@ class TablePropagation:
         self._links[(src, dst)] = prr
         if symmetric:
             self._links[(dst, src)] = prr
+        self._version += 1
 
     def remove_link(self, src: int, dst: int, symmetric: bool = False) -> None:
         self._links.pop((src, dst), None)
         if symmetric:
             self._links.pop((dst, src), None)
+        self._version += 1
 
     def link_prr(self, src: int, dst: int, now: float) -> float:
         return self._links.get((src, dst), 0.0)
 
     def links(self) -> Dict[Tuple[int, int], float]:
         return dict(self._links)
+
+    # -- fast-path protocol (repro.radio.neighborhood) ----------------------
+
+    def prr_epoch(self) -> object:
+        return self._version
+
+    def link_prr_bound(self, src: int, dst: int) -> float:
+        return self._links.get((src, dst), 0.0)
+
+    def link_prr_window(self, src: int, dst: int, now: float) -> Tuple[float, float]:
+        return self._links.get((src, dst), 0.0), math.inf
 
 
 class GilbertElliotLink:
@@ -143,8 +213,12 @@ class GilbertElliotLink:
         self.seed = seed
         # Per-link: (state_is_good, state_entered_at, state_ends_at, rng)
         self._state: Dict[Tuple[int, int], list] = {}
+        #: state flips discovered so far (observability; per-link window
+        #: expiries — not this counter — carry the cache invalidation,
+        #: since flips are only discovered lazily at query time).
+        self.flips = 0
 
-    def _advance(self, link: Tuple[int, int], now: float) -> bool:
+    def _advance(self, link: Tuple[int, int], now: float) -> list:
         state = self._state.get(link)
         if state is None:
             rng = make_rng(self.seed, f"gilbert:{link[0]}->{link[1]}")
@@ -157,12 +231,34 @@ class GilbertElliotLink:
             state[1] = state[2]
             mean = self.mean_good if state[0] else self.mean_bad
             state[2] = state[1] + state[3].expovariate(1.0 / mean)
-        return state[0]
+            self.flips += 1
+        return state
 
     def link_prr(self, src: int, dst: int, now: float) -> float:
         prr = self.base.link_prr(src, dst, now)
         if prr <= 0.0:
             return 0.0
-        if self._advance((src, dst), now):
+        if self._advance((src, dst), now)[0]:
             return prr
         return prr * self.bad_scale
+
+    # -- fast-path protocol (repro.radio.neighborhood) ----------------------
+
+    def prr_epoch(self) -> object:
+        # Raises AttributeError when the base model does not support the
+        # fast path, which is exactly how supports_fast_path detects it.
+        return ("gilbert", self.base.prr_epoch())
+
+    def link_prr_bound(self, src: int, dst: int) -> float:
+        # State-independent: good state passes the base PRR through
+        # unchanged, bad state scales it, so the per-epoch maximum is
+        # the base bound (times bad_scale if that somehow exceeds 1).
+        return self.base.link_prr_bound(src, dst) * max(1.0, self.bad_scale)
+
+    def link_prr_window(self, src: int, dst: int, now: float) -> Tuple[float, float]:
+        base_prr, base_expiry = self.base.link_prr_window(src, dst, now)
+        if base_prr <= 0.0:
+            return 0.0, base_expiry
+        state = self._advance((src, dst), now)
+        prr = base_prr if state[0] else base_prr * self.bad_scale
+        return prr, min(base_expiry, state[2])

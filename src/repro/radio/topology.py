@@ -32,11 +32,17 @@ class Topology:
         # standing in for slab attenuation.
         self._positions: Dict[int, Position] = {}
         self.floor_penalty = floor_penalty
+        #: bumped on every placement change; distance-based propagation
+        #: models fold this into their epoch so neighborhood caches
+        #: (repro.radio.neighborhood) invalidate exactly when geometry
+        #: changes and never otherwise.
+        self.version = 0
 
     def add_node(self, node_id: int, x: float, y: float, floor: int = 0) -> None:
         if node_id in self._positions:
             raise ValueError(f"node {node_id} already placed")
         self._positions[node_id] = Position(x, y, floor)
+        self.version += 1
 
     def move_node(self, node_id: int, x: float, y: float, floor: Optional[int] = None) -> None:
         """Relocate a node (mobility support).
@@ -48,6 +54,7 @@ class Topology:
         self._positions[node_id] = Position(
             x, y, current.floor if floor is None else floor
         )
+        self.version += 1
 
     def position(self, node_id: int) -> Position:
         return self._positions[node_id]

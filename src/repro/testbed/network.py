@@ -130,6 +130,7 @@ class SensorNetwork:
         propagation=None,
         mac_queue_limit: int = 64,
         mac_factory=None,
+        channel_indexed: Optional[bool] = None,
     ) -> None:
         self.topology = topology
         self.config = config or DiffusionConfig()
@@ -139,8 +140,12 @@ class SensorNetwork:
         self.seeds = SeedSequence(seed)
         self.radio_params = radio_params or RadioParams()
         self.propagation = propagation or DistancePropagation(topology, seed=seed)
+        # channel_indexed: None = use the neighborhood fast path when the
+        # propagation model supports it; False forces the reference O(N)
+        # scan (the equivalence suite and channelbench compare the two).
         self.channel = Channel(
-            self.sim, self.propagation, seeds=self.seeds, trace=self.trace
+            self.sim, self.propagation, seeds=self.seeds, trace=self.trace,
+            indexed=channel_indexed,
         )
         self.energy_account = NetworkEnergyAccount()
         # mac_factory(sim, modem, rng, queue_limit) -> Mac; None = CSMA.
@@ -203,11 +208,20 @@ class SensorNetwork:
         self.sim.run(until=until)
 
     def fail_node(self, node_id: int) -> None:
-        """Simulate node death: stop its timers and mute its radio."""
+        """Simulate node death: stop its timers and silence its radio.
+
+        The modem is detached from the channel, so the dead node drops
+        out of every audibility and carrier-sense set instead of being
+        re-scanned on each fragment; queued MAC traffic is discarded (a
+        dead node neither receives nor keeps transmitting).  A fragment
+        already on the air finishes — the signal left the antenna.
+        """
         stack = self.stacks[node_id]
         stack.diffusion.shutdown()
         stack.modem.receive_callback = None
         stack.mac.enqueue = lambda *args, **kwargs: False
+        stack.mac._queue.clear()
+        self.channel.detach(node_id)
 
     # -- measurement ----------------------------------------------------------------
 
