@@ -21,6 +21,12 @@ python -m repro.experiments.matchbench --smoke
 # with network size (again counters, not wall time).
 python -m repro.experiments.channelbench --smoke
 
+# Fault-injection smoke: a seeded FaultPlan must replay bit-identically
+# (same timeline, same repair metrics), invariants must hold, and
+# repair must land within a bounded number of exploratory intervals
+# (counters and event times, not wall time).
+python -m repro faults --smoke
+
 store="$(mktemp -d)"
 trap 'rm -rf "$store"' EXIT
 python -m repro campaign run scale-aggregation --quick --jobs 1 --store "$store"

@@ -6,6 +6,8 @@ Usage::
     python -m repro campaign run scale-aggregation --jobs 4
     python -m repro trace record --out run.jsonl --scenario isi
     python -m repro trace paths run.jsonl
+    python -m repro faults run --fault partition
+    python -m repro faults --smoke
     python -m repro example quickstart
     python -m repro info
 """
@@ -69,6 +71,16 @@ def main(argv=None) -> int:
     )
     trace.add_argument("args", nargs=argparse.REMAINDER)
 
+    flt = sub.add_parser(
+        "faults",
+        help="validate/run/report fault plans; --smoke for the CI gate",
+        add_help=False,
+    )
+    # REMAINDER does not capture a *leading* option, so the smoke flag
+    # (the one bare-option invocation) is declared here and forwarded.
+    flt.add_argument("--smoke", action="store_true")
+    flt.add_argument("args", nargs=argparse.REMAINDER)
+
     ex = sub.add_parser("example", help="run a narrated example")
     ex.add_argument("name", choices=sorted(EXAMPLES))
 
@@ -94,6 +106,10 @@ def main(argv=None) -> int:
         from repro.analysis.tracecli import main as trace_main
 
         return trace_main(args.args)
+    if args.command == "faults":
+        from repro.faults.cli import main as faults_main
+
+        return faults_main((["--smoke"] if args.smoke else []) + args.args)
     if args.command == "example":
         script = _examples_dir() / EXAMPLES[args.name]
         if not script.exists():
@@ -106,7 +122,7 @@ def main(argv=None) -> int:
         print(__doc__)
         print("subpackages: naming, core, filters, micro, transfer, apps,")
         print("             sim, radio, mac, link, energy, testbed,")
-        print("             analysis, experiments, campaign")
+        print("             analysis, experiments, campaign, faults")
         return 0
     parser.print_help()
     return 2

@@ -12,6 +12,7 @@ from repro.analysis.tracelog import (
     summarize_campaign,
     summarize_trace,
 )
+from repro.analysis.resilience import format_resilience_report
 from repro.analysis.paths import (
     DropRecord,
     HopRecord,
@@ -43,6 +44,7 @@ __all__ = [
     "MessagePath",
     "format_loss_table",
     "format_path",
+    "format_resilience_report",
     "format_route",
     "loss_attribution",
     "reconstruct_paths",

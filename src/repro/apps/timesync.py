@@ -144,6 +144,16 @@ class SyncCoordinator:
         self.reports_received += 1
         self._by_beacon[int(seq)][node_id] = float(local)
 
+    def reset_window(self) -> None:
+        """Forget accumulated observations.
+
+        Offset estimates average *all* shared beacons, so a clock that
+        steps mid-run (a fault, a correction) would be averaged against
+        its own past.  Periodic sync rounds call this after applying
+        corrections to keep the estimation window current.
+        """
+        self._by_beacon.clear()
+
     def participants(self) -> List[int]:
         nodes = set()
         for observations in self._by_beacon.values():

@@ -339,6 +339,58 @@ def fig8_campaign(quick: bool = False, root_seed: int = 100) -> Campaign:
 
 
 # ---------------------------------------------------------------------------
+# resilience — fault injection with repair-time verification
+# (exploratory-interval sensitivity across the builtin fault plans)
+
+
+def resilience_trial(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One fault on the standard grid, flattened for aggregation.
+
+    ``time_to_repair``/``repair_intervals`` use -1.0 as the "never
+    repaired" sentinel (aggregation needs numbers, not nulls); delivery
+    ratios use 0.0 when nothing was originated in the window.
+    """
+    from repro.faults import resilience_run
+
+    result = resilience_run(
+        fault=str(params["fault"]),
+        seed=int(params.get("seed", seed)),
+        exploratory_interval=float(params["exploratory_interval"]),
+        duration=float(params.get("duration", 160.0)),
+    )
+    fault = result["report"]["faults"][0]
+    ttr = fault["time_to_repair"]
+    intervals = fault["repair_intervals"]
+    return {
+        "fault": result["fault"],
+        "exploratory_interval": result["exploratory_interval"],
+        "overall_delivery": result["report"]["overall_delivery"] or 0.0,
+        "delivery_during": fault["delivery_during"] or 0.0,
+        "delivery_after": fault["delivery_after"] or 0.0,
+        "time_to_repair": ttr if ttr is not None else -1.0,
+        "repair_intervals": intervals if intervals is not None else -1.0,
+        "violations": len(result["violations"]),
+        "invariants_ok": result["invariants_ok"],
+    }
+
+
+def resilience_campaign(quick: bool = False, root_seed: int = 1) -> Campaign:
+    return Campaign(
+        name="resilience",
+        trial="repro.campaign.builtin:resilience_trial",
+        grid={
+            "fault": ["crash", "link-flap", "partition"],
+            "exploratory_interval": (
+                [5.0, 10.0] if quick else [5.0, 10.0, 20.0]
+            ),
+        },
+        fixed={"duration": 120.0 if quick else 200.0},
+        seeds=[root_seed],
+        description="repair time and delivery under faults vs exploratory interval",
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 
 
@@ -348,6 +400,7 @@ CAMPAIGNS: Dict[str, Callable[..., Campaign]] = {
     "ablation-dutycycle": dutycycle_campaign,
     "ablation-push-pull": pushpull_campaign,
     "fig8": fig8_campaign,
+    "resilience": resilience_campaign,
 }
 
 
@@ -399,5 +452,13 @@ def report_table(name: str, report: "CampaignReport") -> str:  # noqa: F821
         return format_pivot(
             table, "sources",
             title="Figure 8 — bytes/event (suppression True / False)",
+        )
+    if name == "resilience":
+        table = pivot(
+            outcomes, "repair_intervals", row="fault", col="exploratory_interval"
+        )
+        return format_pivot(
+            table, "fault",
+            title="time-to-repair in exploratory intervals (-1 = never)",
         )
     return f"({len([o for o in outcomes if o.ok])} successful trials)"

@@ -715,3 +715,32 @@ class DiffusionNode:
         for sub in self.subscriptions.values():
             if sub.periodic_event is not None:
                 sub.periodic_event.cancel()
+
+    def reboot(self) -> None:
+        """Come back from a power cycle with soft state lost.
+
+        Gradients and the duplicate cache live in RAM on a real mote, so
+        a reboot wipes them; subscriptions and publications are the
+        *application's* configuration and survive (the app restarts with
+        the same tasks).  Repair must come from protocol traffic:
+        restarted interest flooding rebuilds this node's entries, and
+        upstream exploratory data re-discovers it.
+        """
+        self.shutdown()
+        self.gradients = GradientTable()
+        self.cache = DataCache(
+            capacity=self.config.cache_capacity,
+            timeout=self.config.cache_timeout,
+        )
+        # Coherence checkpoint: monitors verify the wipe at this instant,
+        # before re-subscription repopulates the table.
+        self.trace.emit(self.sim.now, "node.reboot", node=self.node_id)
+        for sub in self.subscriptions.values():
+            sub.entry = self.gradients.entry_for(sub.attrs)
+            sub.entry.local_sink = True
+        for pub in self.publications.values():
+            pub.last_exploratory = None
+        self._schedule_sweep()
+        if not self.config.push_mode:
+            for sub in self.subscriptions.values():
+                self._originate_interest(sub)

@@ -1,0 +1,197 @@
+"""``python -m repro faults`` — validate, run, and report fault plans.
+
+Subcommands::
+
+    faults validate plan.json [--nodes 12]   check a plan file
+    faults run [--fault crash] [--plan f]    run a resilience scenario
+    faults report result.json                render a saved result
+    faults --smoke                           deterministic CI gate
+
+The smoke gate is counter-based, not wall-time (matchbench/channelbench
+precedent): it replays the crash scenario twice on one seed and demands
+*bit-identical* results — same fault timeline, same repair metrics —
+then checks that invariants held and repair landed within a bounded
+number of exploratory intervals, for both the crash and the partition
+plans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.resilience import format_resilience_report
+from repro.faults.plan import FaultPlan, PlanError
+from repro.faults.scenarios import builtin_names, builtin_plan, resilience_run
+
+#: smoke bound: repair must land within this many exploratory intervals.
+SMOKE_REPAIR_INTERVALS = 4.0
+
+
+def _load_plan(path: str) -> FaultPlan:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return FaultPlan.from_json(data)
+
+
+def _cmd_validate(args) -> int:
+    try:
+        plan = _load_plan(args.plan)
+        plan.validate(range(args.nodes))
+    except (OSError, json.JSONDecodeError, PlanError) as exc:
+        print(f"invalid plan: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"plan OK: {len(plan)} action(s), horizon {plan.horizon():g}s, "
+        f"overlay {'required' if plan.needs_overlay() else 'not required'}"
+    )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    plan: Optional[FaultPlan] = None
+    if args.plan is not None:
+        try:
+            plan = _load_plan(args.plan)
+        except (OSError, json.JSONDecodeError, PlanError) as exc:
+            print(f"invalid plan: {exc}", file=sys.stderr)
+            return 1
+    result = resilience_run(
+        fault=args.fault,
+        seed=args.seed,
+        exploratory_interval=args.exploratory_interval,
+        duration=args.duration,
+        plan=plan,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"wrote {args.out}")
+    print(format_resilience_report(result))
+    return 0 if result["invariants_ok"] else 1
+
+
+def _cmd_report(args) -> int:
+    try:
+        with open(args.result, "r", encoding="utf-8") as handle:
+            result = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read result: {exc}", file=sys.stderr)
+        return 1
+    print(format_resilience_report(result))
+    return 0
+
+
+def _check(condition: bool, message: str, failures: List[str]) -> None:
+    if not condition:
+        failures.append(message)
+
+
+def _smoke() -> int:
+    failures: List[str] = []
+
+    # 1. Bit-identical replay: one seed, two runs, equal dicts.
+    first = resilience_run(
+        fault="crash", seed=7, duration=140.0, exploratory_interval=8.0
+    )
+    second = resilience_run(
+        fault="crash", seed=7, duration=140.0, exploratory_interval=8.0
+    )
+    _check(first == second, "crash run is not replay-identical", failures)
+    _check(first["invariants_ok"], "crash run violated invariants", failures)
+    crash = first["report"]["faults"][0]
+    _check(
+        crash["time_to_repair"] is not None,
+        "crash run never repaired",
+        failures,
+    )
+    if crash["repair_intervals"] is not None:
+        _check(
+            crash["repair_intervals"] <= SMOKE_REPAIR_INTERVALS,
+            f"crash repair took {crash['repair_intervals']:.2f} exploratory "
+            f"intervals (bound {SMOKE_REPAIR_INTERVALS})",
+            failures,
+        )
+
+    # 2. Partition: delivery must collapse during the cut and repair
+    #    within the bound after the heal.
+    part = resilience_run(
+        fault="partition", seed=7, duration=160.0, exploratory_interval=8.0
+    )
+    _check(part["invariants_ok"], "partition run violated invariants", failures)
+    entry = part["report"]["faults"][0]
+    during = entry["delivery_during"]
+    _check(
+        during is not None and during < 0.2,
+        f"partition did not cut delivery (during={during})",
+        failures,
+    )
+    _check(
+        entry["repair_intervals"] is not None
+        and entry["repair_intervals"] <= SMOKE_REPAIR_INTERVALS,
+        f"partition repair_intervals={entry['repair_intervals']} "
+        f"(bound {SMOKE_REPAIR_INTERVALS})",
+        failures,
+    )
+
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "faults smoke OK: replay bit-identical, invariants held, "
+        f"repair within {SMOKE_REPAIR_INTERVALS:g} exploratory intervals"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description="deterministic fault injection and resilience verification",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the deterministic CI gate and exit",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    val = sub.add_parser("validate", help="check a plan JSON file")
+    val.add_argument("plan")
+    val.add_argument(
+        "--nodes", type=int, default=12,
+        help="validate against node ids 0..N-1 (default: 12, the standard grid)",
+    )
+
+    run = sub.add_parser("run", help="run a resilience scenario")
+    run.add_argument(
+        "--fault", choices=builtin_names(), default="crash",
+        help="builtin fault plan (ignored with --plan)",
+    )
+    run.add_argument("--plan", help="custom plan JSON file")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--duration", type=float, default=160.0)
+    run.add_argument("--exploratory-interval", type=float, default=8.0)
+    run.add_argument("--out", help="write the full result JSON here")
+
+    rep = sub.add_parser("report", help="render a saved result JSON")
+    rep.add_argument("result")
+
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke()
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""FaultEngine: executes a FaultPlan against a SensorNetwork.
+
+The engine translates each plan action into simulator events at
+construction time, so a seeded run replays bit-identically: the same
+plan and seed produce the same fault timeline, the same protocol
+behaviour, and the same repair metrics.  Every injection and heal is
+
+* appended to :attr:`FaultEngine.timeline` (JSON-safe dicts, in event
+  order — the replay-equality witness),
+* emitted on the network's trace bus as ``fault.inject`` /
+  ``fault.heal`` records (so trace tooling can correlate protocol
+  events with the faults that caused them), and
+* counted on the ``faults.injected`` / ``faults.healed`` metrics.
+
+Injection points per action kind:
+
+==================== =====================================================
+NodeCrash            ``SensorNetwork.fail_node`` /
+                     ``SensorNetwork.resurrect_node(clear_state=...)``
+LinkFlap, Partition  :class:`~repro.faults.overlay.FaultOverlayPropagation`
+                     spliced under the channel (epoch-bumping, so the
+                     neighborhood index invalidates correctly)
+ClockSkew            the engine's per-node :class:`NodeClock` registry
+FragmentCorruption   the fragmentation layer's ``inbound_filter`` hook
+EnergyBrownout       ``modem.sleeping`` toggled on a forced duty cycle,
+                     with the MAC's ``_transmit_head`` gated so a parked
+                     radio defers instead of raising
+==================== =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.faults.overlay import FaultOverlayPropagation
+from repro.faults.plan import (
+    ClockSkew,
+    EnergyBrownout,
+    FaultPlan,
+    FragmentCorruption,
+    LinkFlap,
+    NodeCrash,
+    Partition,
+)
+from repro.radio.channel import Channel
+from repro.radio.neighborhood import NeighborhoodIndex
+from repro.sim.clock import NodeClock
+from repro.sim.metrics import current_registry
+from repro.sim.rng import derive_seed, make_rng
+from repro.sim.trace import trace_id_of
+
+
+class FaultEngine:
+    """Schedules and applies one plan's faults on one network."""
+
+    def __init__(
+        self,
+        network,
+        plan: FaultPlan,
+        seed: Optional[int] = None,
+        clocks: Optional[Dict[int, NodeClock]] = None,
+    ) -> None:
+        plan.validate(network.node_ids())
+        self.network = network
+        self.plan = plan
+        self.seed = network.seed if seed is None else seed
+        self.trace = network.trace
+        #: event-ordered record of every inject/heal, JSON-safe.
+        self.timeline: List[dict] = []
+        #: per-node local clocks the engine skews; tests and timesync
+        #: scenarios share these via :meth:`clock`.
+        self.clocks: Dict[int, NodeClock] = dict(clocks or {})
+        self.fragments_corrupted = 0
+        registry = current_registry()
+        self._m_injected = registry.counter("faults.injected")
+        self._m_healed = registry.counter("faults.healed")
+        self._fault_seed = derive_seed(self.seed, "faults")
+        self._brownout_wake: Dict[int, float] = {}
+        self.overlay: Optional[FaultOverlayPropagation] = None
+        if plan.needs_overlay():
+            self._install_overlay()
+        for index, action in enumerate(plan.actions):
+            self._schedule(index, action)
+
+    # -- wiring --------------------------------------------------------------
+
+    def _install_overlay(self) -> None:
+        """Splice the link-fault overlay between the channel and its
+        propagation model, rebuilding the neighborhood index so the
+        fast path keeps honoring the (now overlay-owned) epoch."""
+        network = self.network
+        overlay = FaultOverlayPropagation(network.propagation)
+        network.propagation = overlay
+        channel = network.channel
+        channel.propagation = overlay
+        if channel.index is not None:
+            index = NeighborhoodIndex(overlay, Channel.CARRIER_SENSE_THRESHOLD)
+            for node_id in channel.node_ids():
+                index.add_node(node_id)
+            channel.index = index
+        self.overlay = overlay
+
+    def clock(self, node_id: int) -> NodeClock:
+        """The engine's local clock for ``node_id`` (created on first
+        use, with a seed-derived jitter stream)."""
+        clock = self.clocks.get(node_id)
+        if clock is None:
+            clock = NodeClock(rng=make_rng(self._fault_seed, f"clock:{node_id}"))
+            self.clocks[node_id] = clock
+        return clock
+
+    def _note(self, index: int, action, phase: str, **detail) -> None:
+        now = self.network.sim.now
+        entry = {"t": now, "index": index, "kind": action.kind, "phase": phase}
+        entry.update(detail)
+        self.timeline.append(entry)
+        self.trace.emit(
+            now, f"fault.{phase}",
+            node=detail.get("node"), kind=action.kind, index=index,
+        )
+        if phase == "inject":
+            self._m_injected.inc()
+        else:
+            self._m_healed.inc()
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, index: int, action) -> None:
+        sim = self.network.sim
+        if isinstance(action, NodeCrash):
+            sim.schedule_at(action.at, self._crash, index, action, name="fault.crash")
+            if action.recover_at is not None:
+                sim.schedule_at(
+                    action.recover_at, self._reboot, index, action,
+                    name="fault.reboot",
+                )
+        elif isinstance(action, LinkFlap):
+            period = action.effective_period
+            for cycle in range(action.flaps):
+                start = action.at + cycle * period
+                sim.schedule_at(
+                    start, self._link_down, index, action, name="fault.linkdown"
+                )
+                sim.schedule_at(
+                    start + action.down, self._link_up, index, action,
+                    name="fault.linkup",
+                )
+        elif isinstance(action, Partition):
+            sim.schedule_at(
+                action.at, self._partition, index, action, name="fault.partition"
+            )
+            sim.schedule_at(
+                action.heal_at, self._heal_partition, index, action,
+                name="fault.heal",
+            )
+        elif isinstance(action, ClockSkew):
+            sim.schedule_at(action.at, self._skew, index, action, name="fault.skew")
+        elif isinstance(action, FragmentCorruption):
+            sim.schedule_at(
+                action.at, self._corruption_on, index, action, name="fault.corrupt"
+            )
+            sim.schedule_at(
+                action.at + action.duration, self._corruption_off, index, action,
+                name="fault.heal",
+            )
+        elif isinstance(action, EnergyBrownout):
+            sim.schedule_at(
+                action.at, self._brownout_begin, index, action,
+                name="fault.brownout",
+            )
+        else:  # pragma: no cover - plan validation keeps this unreachable
+            raise TypeError(f"unknown fault action {type(action).__name__}")
+
+    # -- node crash / reboot -------------------------------------------------
+
+    def _crash(self, index: int, action: NodeCrash) -> None:
+        self.network.fail_node(action.node)
+        self._note(index, action, "inject", node=action.node)
+
+    def _reboot(self, index: int, action: NodeCrash) -> None:
+        self.network.resurrect_node(action.node, clear_state=action.clear_state)
+        self._note(
+            index, action, "heal",
+            node=action.node, clear_state=action.clear_state,
+        )
+
+    # -- link faults ---------------------------------------------------------
+
+    def _link_down(self, index: int, action: LinkFlap) -> None:
+        self.overlay.block_link(action.a, action.b, symmetric=action.symmetric)
+        self._note(index, action, "inject", a=action.a, b=action.b)
+
+    def _link_up(self, index: int, action: LinkFlap) -> None:
+        self.overlay.unblock_link(action.a, action.b, symmetric=action.symmetric)
+        self._note(index, action, "heal", a=action.a, b=action.b)
+
+    def _partition(self, index: int, action: Partition) -> None:
+        self.overlay.set_partition(action.groups)
+        self._note(
+            index, action, "inject",
+            groups=[list(group) for group in action.groups],
+        )
+
+    def _heal_partition(self, index: int, action: Partition) -> None:
+        self.overlay.clear_partition()
+        self._note(index, action, "heal")
+
+    # -- clock skew ----------------------------------------------------------
+
+    def _skew(self, index: int, action: ClockSkew) -> None:
+        clock = self.clock(action.node)
+        if action.offset:
+            clock.adjust(action.offset)
+        if action.drift_ppm:
+            clock.drift_ppm += action.drift_ppm
+        self._note(
+            index, action, "inject",
+            node=action.node, offset=action.offset, drift_ppm=action.drift_ppm,
+        )
+
+    # -- fragment corruption -------------------------------------------------
+
+    def _corruption_on(self, index: int, action: FragmentCorruption) -> None:
+        stack = self.network.stack(action.node)
+        rng = make_rng(self._fault_seed, f"corruption:{index}")
+
+        def corrupt(fragment, src) -> bool:
+            if rng.random() >= action.rate:
+                return True
+            self.fragments_corrupted += 1
+            trace_id = trace_id_of(fragment)
+            if trace_id is not None:
+                self.trace.emit(
+                    self.network.sim.now,
+                    "path.drop",
+                    node=action.node,
+                    trace=trace_id,
+                    reason="fault-corruption",
+                    layer="link",
+                    src=src,
+                )
+            return False
+
+        # One corruption window per node at a time; a later action on
+        # the same node replaces the filter (documented in DESIGN.md).
+        stack.frag.inbound_filter = corrupt
+        self._note(index, action, "inject", node=action.node, rate=action.rate)
+
+    def _corruption_off(self, index: int, action: FragmentCorruption) -> None:
+        self.network.stack(action.node).frag.inbound_filter = None
+        self._note(index, action, "heal", node=action.node)
+
+    # -- energy brownout -----------------------------------------------------
+
+    def _brownout_begin(self, index: int, action: EnergyBrownout) -> None:
+        stack = self.network.stack(action.node)
+        mac = stack.mac
+        modem = stack.modem
+        engine = self
+
+        def gated_transmit_head() -> None:
+            # A parked radio must not transmit (the modem would raise);
+            # park the head fragment until the next wakeup instead.
+            # Instance-attribute shadowing intercepts every call site:
+            # _attempt looks _transmit_head up at call time.
+            if modem.sleeping:
+                wake = engine._brownout_wake.get(action.node, engine.network.sim.now)
+                engine.network.sim.schedule_at(
+                    max(wake, engine.network.sim.now), mac._attempt,
+                    name="fault.brownout-defer",
+                )
+                return
+            type(mac)._transmit_head(mac)
+
+        mac._transmit_head = gated_transmit_head
+        self._note(
+            index, action, "inject",
+            node=action.node, duty_cycle=action.duty_cycle,
+        )
+        self._brownout_sleep(index, action, action.at + action.duration)
+
+    def _brownout_sleep(self, index: int, action: EnergyBrownout, end: float) -> None:
+        sim = self.network.sim
+        stack = self.network.stack(action.node)
+        if sim.now >= end:
+            self._brownout_finish(index, action)
+            return
+        if stack.modem.transmitting:
+            # Never park the radio mid-transmission; re-check just after
+            # the fragment clears the air (mirrors DutyCycledCsmaMac).
+            sim.schedule(
+                0.001, self._brownout_sleep, index, action, end,
+                name="fault.brownout-retry",
+            )
+            return
+        stack.modem.sleeping = True
+        wake = min(sim.now + (1.0 - action.duty_cycle) * action.period, end)
+        self._brownout_wake[action.node] = wake
+        sim.schedule_at(
+            wake, self._brownout_awake, index, action, end,
+            name="fault.brownout-wake",
+        )
+
+    def _brownout_awake(self, index: int, action: EnergyBrownout, end: float) -> None:
+        sim = self.network.sim
+        stack = self.network.stack(action.node)
+        stack.modem.sleeping = False
+        self._brownout_wake.pop(action.node, None)
+        if sim.now >= end:
+            self._brownout_finish(index, action)
+            return
+        sim.schedule_at(
+            min(sim.now + action.duty_cycle * action.period, end),
+            self._brownout_sleep, index, action, end,
+            name="fault.brownout-sleep",
+        )
+
+    def _brownout_finish(self, index: int, action: EnergyBrownout) -> None:
+        stack = self.network.stack(action.node)
+        stack.modem.sleeping = False
+        stack.mac.__dict__.pop("_transmit_head", None)
+        self._brownout_wake.pop(action.node, None)
+        self._note(index, action, "heal", node=action.node)

@@ -1,0 +1,227 @@
+"""Online invariant monitors: what must stay true while things break.
+
+The monitors ride the observability buses (PR-2): trace-driven checks
+react to individual protocol events; state-driven checks probe node
+tables on a periodic schedule.  A violated invariant is recorded as a
+:class:`Violation` — with the causal trace id when one exists — and
+counted on the ``faults.violations`` metric; :meth:`MonitorSuite.assert_ok`
+raises so tests fail loudly.
+
+Invariants (from the paper's protocol obligations):
+
+no-forwarding-loop
+    A data message must never be transmitted by the same node at two
+    different hop counts — that is a routing loop.  (One node may
+    legitimately transmit the same trace several times at the *same*
+    hop count: exploratory data fans out to every gradient neighbor.)
+
+gradient-bound
+    Soft state must stay bounded: a node's gradient table holds at most
+    ``max_entries`` interests, and no entry accumulates more gradients
+    than the network has nodes.  Expiry sweeps, not faults, enforce
+    this — a fault that breaks sweeping shows up here.
+
+reinforcement-uniqueness
+    A sink reinforces at most ``multipath_degree`` distinct next-hops
+    per data origin (Section 4's "reinforce one particular neighbor"),
+    with no duplicates in the preferred list.
+
+reboot-coherence
+    Immediately after a reboot-with-state-loss the node's gradient
+    table and duplicate cache must be empty — inherited soft state
+    would fake repair and mask real convergence time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.metrics import current_registry
+from repro.sim.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach."""
+
+    time: float
+    invariant: str
+    node: Optional[int]
+    trace: Optional[str] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        where = f"node {self.node}" if self.node is not None else "network"
+        cause = f" trace={self.trace}" if self.trace else ""
+        extra = f" {self.detail}" if self.detail else ""
+        return f"t={self.time:.3f} [{self.invariant}] {where}{cause}{extra}"
+
+
+class InvariantViolationError(AssertionError):
+    """Raised by :meth:`MonitorSuite.assert_ok` when invariants broke."""
+
+    def __init__(self, violations: List[Violation]) -> None:
+        lines = "\n".join(v.describe() for v in violations[:20])
+        more = len(violations) - 20
+        if more > 0:
+            lines += f"\n... and {more} more"
+        super().__init__(f"{len(violations)} invariant violation(s):\n{lines}")
+        self.violations = violations
+
+
+class MonitorSuite:
+    """All invariant monitors over one :class:`SensorNetwork`.
+
+    Trace-driven checks (forwarding loops, reboot coherence) fire
+    synchronously on bus events; state-driven checks (gradient bounds,
+    reinforcement uniqueness) run every ``probe_interval`` seconds and
+    once more at :meth:`detach`.
+    """
+
+    #: retain at most this many (node, trace) hop records for loop
+    #: detection; traces are short-lived, so eviction of the oldest
+    #: entries cannot miss a live loop.
+    LOOP_WINDOW = 4096
+
+    def __init__(
+        self,
+        network,
+        probe_interval: float = 5.0,
+        max_entries: int = 32,
+        max_hops: Optional[int] = None,
+    ) -> None:
+        self.network = network
+        self.max_entries = max_entries
+        self.max_hops = (
+            max_hops if max_hops is not None else 2 * len(network.node_ids())
+        )
+        self.violations: List[Violation] = []
+        self._m_violations = current_registry().counter("faults.violations")
+        # (node, trace) -> hop count at first transmission
+        self._tx_hops: Dict[Tuple[int, str], int] = {}
+        self._attached = True
+        network.trace.subscribe("diffusion.tx", self._on_tx)
+        network.trace.subscribe("node.reboot", self._on_reboot)
+        self._probe_event = network.sim.schedule(
+            probe_interval, self._probe, probe_interval, name="faults.probe"
+        )
+
+    # -- recording -----------------------------------------------------------
+
+    def _record(
+        self,
+        invariant: str,
+        node: Optional[int],
+        trace: Optional[str] = None,
+        **detail,
+    ) -> None:
+        violation = Violation(
+            time=self.network.sim.now,
+            invariant=invariant,
+            node=node,
+            trace=trace,
+            detail=detail,
+        )
+        self.violations.append(violation)
+        self._m_violations.inc()
+
+    # -- trace-driven invariants ----------------------------------------------
+
+    def _on_tx(self, record: TraceRecord) -> None:
+        if record.data.get("msg_type") not in ("DATA", "EXPLORATORY_DATA"):
+            return
+        trace = record.data.get("trace")
+        node = record.node
+        hops = record.data.get("hops")
+        if trace is None or node is None or hops is None:
+            return
+        key = (node, trace)
+        first = self._tx_hops.get(key)
+        if first is None:
+            if len(self._tx_hops) >= self.LOOP_WINDOW:
+                self._tx_hops.pop(next(iter(self._tx_hops)))
+            self._tx_hops[key] = hops
+        elif first != hops:
+            # Same node transmitting the same message at a different hop
+            # count means the message came back around: a loop.
+            self._record(
+                "no-forwarding-loop", node, trace,
+                first_hops=first, again_hops=hops,
+            )
+        if self.max_hops is not None and hops > self.max_hops:
+            self._record(
+                "no-forwarding-loop", node, trace,
+                hops=hops, max_hops=self.max_hops,
+            )
+
+    def _on_reboot(self, record: TraceRecord) -> None:
+        node = self.network.node(record.node)
+        if len(node.gradients) != 0:
+            self._record(
+                "reboot-coherence", record.node,
+                gradient_entries=len(node.gradients),
+            )
+        if len(node.cache) != 0:
+            self._record(
+                "reboot-coherence", record.node, cache_entries=len(node.cache)
+            )
+
+    # -- state-driven invariants ----------------------------------------------
+
+    def _probe(self, interval: float) -> None:
+        self.check()
+        self._probe_event = self.network.sim.schedule(
+            interval, self._probe, interval, name="faults.probe"
+        )
+
+    def check(self) -> None:
+        """Probe every node's tables once (also runs on a schedule)."""
+        node_count = len(self.network.node_ids())
+        degree = self.network.config.multipath_degree
+        for node_id in self.network.node_ids():
+            node = self.network.node(node_id)
+            table = node.gradients
+            if len(table) > self.max_entries:
+                self._record(
+                    "gradient-bound", node_id,
+                    entries=len(table), max_entries=self.max_entries,
+                )
+            for entry in table.entries():
+                if len(entry.gradients) > node_count:
+                    self._record(
+                        "gradient-bound", node_id,
+                        gradients=len(entry.gradients), nodes=node_count,
+                    )
+                for origin, preferred in entry.sink_preferred.items():
+                    if len(preferred) > degree or len(set(preferred)) != len(
+                        preferred
+                    ):
+                        self._record(
+                            "reinforcement-uniqueness", node_id,
+                            origin=origin,
+                            preferred=list(preferred),
+                            multipath_degree=degree,
+                        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def assert_ok(self) -> None:
+        """Final check plus a loud failure if anything broke."""
+        self.check()
+        if self.violations:
+            raise InvariantViolationError(self.violations)
+
+    def detach(self) -> None:
+        """Stop probing and unsubscribe (records stay readable)."""
+        if not self._attached:
+            return
+        self._attached = False
+        self.network.trace.unsubscribe("diffusion.tx", self._on_tx)
+        self.network.trace.unsubscribe("node.reboot", self._on_reboot)
+        if self._probe_event is not None:
+            self._probe_event.cancel()

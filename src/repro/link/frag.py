@@ -64,6 +64,12 @@ class FragmentationLayer:
             "frag.drops", reason="reassembly-failure"
         )
         self.deliver_callback: Optional[Callable[[Any, int, int], None]] = None
+        #: fault-injection hook: called with (fragment, src) for every
+        #: inbound fragment; returning False drops it (corruption /
+        #: truncation at the link layer — the fragment never reaches
+        #: reassembly, so one hit loses its whole message, like a CRC
+        #: failure would on the real radio).
+        self.inbound_filter: Optional[Callable[[Fragment, int], bool]] = None
         self._message_counter = 0
         # (message_id) -> (set of indices received, count, expiry event, nbytes, message, src)
         self._partial: Dict[Tuple[int, int], dict] = {}
@@ -114,6 +120,8 @@ class FragmentationLayer:
         self.on_fragment(payload, src)
 
     def on_fragment(self, fragment: Fragment, src: int) -> None:
+        if self.inbound_filter is not None and not self.inbound_filter(fragment, src):
+            return
         if fragment.count == 1:
             self._deliver(fragment.message, src, fragment.nbytes)
             return
@@ -166,6 +174,12 @@ class FragmentationLayer:
                     layer="link",
                     src=state["src"],
                 )
+
+    def reset(self) -> None:
+        """Drop all partial reassembly state (a reboot loses it)."""
+        for state in self._partial.values():
+            state["expiry"].cancel()
+        self._partial.clear()
 
     @property
     def partial_count(self) -> int:

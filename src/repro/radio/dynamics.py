@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 from repro.radio.topology import Topology
 from repro.sim import Simulator
+from repro.sim.rng import make_rng
 
 
 class RandomWaypointMobility:
@@ -55,7 +56,10 @@ class RandomWaypointMobility:
         self.speed = speed
         self.pause = pause
         self.step = step
-        self.rng = rng or random.Random(node_id)
+        # Seed-derived stream: mobility draws must stay independent of
+        # node-local streams (MAC backoff, diffusion jitter) that once
+        # shared random.Random(node_id) under identical seeds.
+        self.rng = rng or make_rng(node_id, "mobility")
         self.waypoints_visited = 0
         self.distance_travelled = 0.0
         self._target: Optional[Tuple[float, float]] = None
@@ -110,14 +114,20 @@ class FailureSchedule:
     """Applies failure events to a SensorNetwork.
 
     Failure mutes the node's radio and timers via
-    :meth:`SensorNetwork.fail_node`; recovery is modelled as the node's
-    radio starting to hear again (its diffusion timers are not
-    restarted — soft state re-forms from incoming interests, which is
-    exactly the recovery story the paper tells).
+    :meth:`SensorNetwork.fail_node`.  Recovery semantics depend on
+    ``clear_state``: by default the node *reboots* — gradients, cache,
+    and reassembly buffers are wiped and its applications re-flood
+    interests, so soft state re-forms from protocol traffic, which is
+    exactly the recovery story the paper tells.  ``clear_state=False``
+    keeps the legacy behaviour of re-attaching the radio with pre-crash
+    state intact (a radio outage, not a power cycle).
     """
 
-    def __init__(self, network, events: List[FailureEvent]) -> None:
+    def __init__(
+        self, network, events: List[FailureEvent], clear_state: bool = True
+    ) -> None:
         self.network = network
+        self.clear_state = clear_state
         self.events = list(events)
         self.failures_applied = 0
         self.recoveries_applied = 0
@@ -138,10 +148,5 @@ class FailureSchedule:
         self.failures_applied += 1
 
     def _recover(self, node_id: int) -> None:
-        stack = self.network.stack(node_id)
-        # Rejoin the medium (failure detached the modem), then reattach
-        # the radio receive path and the MAC's queue.
-        self.network.channel.attach(stack.modem)
-        stack.modem.receive_callback = stack.frag._on_modem_fragment
-        stack.mac.enqueue = type(stack.mac).enqueue.__get__(stack.mac)
+        self.network.resurrect_node(node_id, clear_state=self.clear_state)
         self.recoveries_applied += 1

@@ -223,6 +223,27 @@ class SensorNetwork:
         stack.mac._queue.clear()
         self.channel.detach(node_id)
 
+    def resurrect_node(self, node_id: int, clear_state: bool = True) -> None:
+        """Bring a failed node back.
+
+        With ``clear_state`` (the default) the node power-cycles: its
+        gradients, duplicate cache, and partial reassembly buffers are
+        wiped, and its applications re-flood their interests — repair
+        then depends on protocol traffic, which is the paper's recovery
+        story.  With ``clear_state=False`` only the radio re-attaches
+        and pre-crash soft state survives (the legacy recovery model,
+        useful for modelling a brief radio outage rather than a reboot).
+        """
+        stack = self.stacks[node_id]
+        self.channel.attach(stack.modem)
+        stack.modem.receive_callback = stack.frag._on_modem_fragment
+        # fail_node shadowed enqueue with an instance attribute; removing
+        # the shadow restores the class implementation.
+        stack.mac.__dict__.pop("enqueue", None)
+        if clear_state:
+            stack.frag.reset()
+            stack.diffusion.reboot()
+
     # -- measurement ----------------------------------------------------------------
 
     def total_diffusion_bytes_sent(self) -> int:

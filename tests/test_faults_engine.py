@@ -1,0 +1,265 @@
+"""Tests for the fault overlay and the FaultEngine's injection paths."""
+
+import math
+
+import pytest
+
+from repro.core import DiffusionConfig
+from repro.faults import (
+    ClockSkew,
+    EnergyBrownout,
+    FaultEngine,
+    FaultOverlayPropagation,
+    FaultPlan,
+    FragmentCorruption,
+    LinkFlap,
+    NodeCrash,
+    Partition,
+)
+from repro.radio import DistancePropagation, Topology
+from repro.sim import TraceCollector
+from repro.testbed import SensorNetwork
+
+
+def line_topology(n=4, spacing=12.0):
+    topo = Topology()
+    for i in range(n):
+        topo.add_node(i, i * spacing, 0.0)
+    return topo
+
+
+def tight_config(**overrides):
+    base = dict(
+        interest_interval=10.0,
+        interest_jitter=0.5,
+        gradient_timeout=25.0,
+        exploratory_interval=8.0,
+        reinforced_timeout=20.0,
+        reinforcement_jitter=0.3,
+    )
+    base.update(overrides)
+    return DiffusionConfig(**base)
+
+
+class TestOverlay:
+    def _overlay(self):
+        base = DistancePropagation(
+            line_topology(), full_range=20.0, max_range=30.0, asymmetry=0.0
+        )
+        return FaultOverlayPropagation(base)
+
+    def test_blocked_link_reads_zero_and_restores(self):
+        overlay = self._overlay()
+        assert overlay.link_prr(0, 1, 0.0) == 1.0
+        overlay.block_link(0, 1)
+        assert overlay.link_prr(0, 1, 0.0) == 0.0
+        assert overlay.link_prr(1, 0, 0.0) == 0.0  # symmetric default
+        overlay.unblock_link(0, 1)
+        assert overlay.link_prr(0, 1, 0.0) == 1.0
+
+    def test_asymmetric_block_cuts_one_direction(self):
+        overlay = self._overlay()
+        overlay.block_link(0, 1, symmetric=False)
+        assert overlay.link_prr(0, 1, 0.0) == 0.0
+        assert overlay.link_prr(1, 0, 0.0) == 1.0
+
+    def test_partition_cuts_cross_group_links_only(self):
+        overlay = self._overlay()
+        overlay.set_partition([(0, 1), (2, 3)])
+        assert overlay.link_prr(1, 2, 0.0) == 0.0
+        assert overlay.link_prr(0, 1, 0.0) == 1.0
+        assert overlay.link_prr(2, 3, 0.0) == 1.0
+        overlay.clear_partition()
+        assert overlay.link_prr(1, 2, 0.0) == 1.0
+
+    def test_unlisted_nodes_straddle_partition(self):
+        overlay = self._overlay()
+        overlay.set_partition([(0,), (3,)])
+        assert overlay.link_prr(0, 3, 0.0) == 0.0
+        # Node 1 is in no group: it hears both sides.
+        assert overlay.link_prr(0, 1, 0.0) == 1.0
+        assert overlay.link_prr(1, 2, 0.0) == 1.0
+
+    def test_every_mutation_bumps_epoch(self):
+        overlay = self._overlay()
+        epochs = [overlay.prr_epoch()]
+        overlay.block_link(0, 1)
+        epochs.append(overlay.prr_epoch())
+        overlay.unblock_link(0, 1)
+        epochs.append(overlay.prr_epoch())
+        overlay.set_partition([(0,), (1,)])
+        epochs.append(overlay.prr_epoch())
+        overlay.clear_partition()
+        epochs.append(overlay.prr_epoch())
+        assert len(set(epochs)) == len(epochs)
+        assert overlay.changes == 4
+
+    def test_fast_path_bound_and_window_honor_cut(self):
+        overlay = self._overlay()
+        overlay.block_link(0, 1)
+        assert overlay.link_prr_bound(0, 1) == 0.0
+        prr, expiry = overlay.link_prr_window(0, 1, 0.0)
+        assert prr == 0.0 and expiry == math.inf
+        assert overlay.link_prr_bound(1, 2) > 0.0
+
+    def test_fast_path_unsupported_base_propagates(self):
+        class SlowModel:
+            def link_prr(self, src, dst, now):
+                return 1.0
+
+        overlay = FaultOverlayPropagation(SlowModel())
+        with pytest.raises(AttributeError):
+            overlay.prr_epoch()
+
+
+class TestEngine:
+    def _network(self, **config_overrides):
+        return SensorNetwork(
+            line_topology(), seed=5, config=tight_config(**config_overrides)
+        )
+
+    def test_link_plan_installs_overlay_and_rebuilds_index(self):
+        net = self._network()
+        original = net.propagation
+        engine = FaultEngine(
+            net, FaultPlan((LinkFlap(a=0, b=1, at=5.0, down=2.0),))
+        )
+        assert isinstance(net.propagation, FaultOverlayPropagation)
+        assert net.propagation.base is original
+        assert net.channel.propagation is net.propagation
+        assert net.channel.index is not None
+        assert net.channel.index.propagation is engine.overlay
+
+    def test_crash_only_plan_skips_overlay(self):
+        net = self._network()
+        engine = FaultEngine(net, FaultPlan((NodeCrash(node=1, at=5.0),)))
+        assert engine.overlay is None
+        assert not isinstance(net.propagation, FaultOverlayPropagation)
+
+    def test_invalid_plan_rejected_at_construction(self):
+        from repro.faults import PlanError
+
+        net = self._network()
+        with pytest.raises(PlanError):
+            FaultEngine(net, FaultPlan((NodeCrash(node=77, at=1.0),)))
+
+    def test_flap_timeline_alternates_and_traces(self):
+        net = self._network()
+        engine = FaultEngine(
+            net,
+            FaultPlan(
+                (LinkFlap(a=0, b=1, at=5.0, down=3.0, flaps=3, period=8.0),)
+            ),
+        )
+        with TraceCollector(net.trace, "fault.inject") as injects:
+            net.run(until=40.0)
+        assert [e["phase"] for e in engine.timeline] == [
+            "inject", "heal", "inject", "heal", "inject", "heal",
+        ]
+        assert [e["t"] for e in engine.timeline] == [
+            5.0, 8.0, 13.0, 16.0, 21.0, 24.0,
+        ]
+        assert len(injects.records) == 3
+
+    def test_partition_blocks_and_heals(self):
+        net = self._network()
+        engine = FaultEngine(
+            net,
+            FaultPlan(
+                (Partition(groups=((0, 1), (2, 3)), at=5.0, heal_at=15.0),)
+            ),
+        )
+        net.run(until=10.0)
+        assert engine.overlay.is_cut(1, 2)
+        assert not engine.overlay.is_cut(0, 1)
+        net.run(until=20.0)
+        assert not engine.overlay.is_cut(1, 2)
+
+    def test_clock_skew_steps_engine_clock(self):
+        net = self._network()
+        engine = FaultEngine(
+            net,
+            FaultPlan(
+                (ClockSkew(node=2, at=5.0, offset=1.5, drift_ppm=40.0),)
+            ),
+        )
+        clock = engine.clock(2)
+        assert engine.clock(2) is clock  # memoized
+        net.run(until=10.0)
+        assert clock.offset == pytest.approx(1.5)
+        assert clock.drift_ppm == pytest.approx(40.0)
+        assert engine.timeline[0]["kind"] == "clock-skew"
+
+    def test_crash_and_reboot_round_trip(self):
+        net = self._network()
+        engine = FaultEngine(
+            net,
+            FaultPlan((NodeCrash(node=1, at=5.0, recover_at=12.0),)),
+        )
+        net.run(until=8.0)
+        assert net.stack(1).modem.receive_callback is None
+        net.run(until=20.0)
+        assert net.stack(1).modem.receive_callback is not None
+        phases = [e["phase"] for e in engine.timeline]
+        assert phases == ["inject", "heal"]
+        assert engine.timeline[1]["clear_state"] is True
+
+    def test_corruption_drops_fragments_and_heals(self):
+        from repro import AttributeVector, Key
+
+        net = self._network()
+        engine = FaultEngine(
+            net,
+            FaultPlan(
+                (FragmentCorruption(node=1, at=2.0, duration=20.0, rate=1.0),)
+            ),
+        )
+        # Interest flooding from a sink is enough inbound traffic for
+        # node 1 to lose fragments to the corruption window.
+        net.api(0).subscribe(
+            AttributeVector.builder().eq(Key.TYPE, "t").build(),
+            lambda attrs, msg: None,
+        )
+        with TraceCollector(net.trace, "path.drop") as drops:
+            net.run(until=30.0)
+        assert engine.fragments_corrupted > 0
+        assert net.stack(1).frag.inbound_filter is None  # healed
+        reasons = {r.data["reason"] for r in drops.records}
+        assert "fault-corruption" in reasons
+
+    def test_brownout_defers_instead_of_raising(self):
+        # A 10% duty cycle with traffic flowing through the MAC: any
+        # transmission attempt during a sleep slice must defer to the
+        # wake time, never hit the modem's sleeping guard.
+        net = self._network()
+        engine = FaultEngine(
+            net,
+            FaultPlan(
+                (EnergyBrownout(node=1, at=5.0, duration=15.0,
+                                duty_cycle=0.1, period=1.0),)
+            ),
+        )
+        net.run(until=30.0)
+        mac = net.stack(1).mac
+        assert net.stack(1).modem.sleeping is False
+        assert "_transmit_head" not in mac.__dict__  # shadow removed
+        assert engine.timeline[-1]["phase"] == "heal"
+
+    def test_timeline_replays_identically(self):
+        def run():
+            net = self._network()
+            engine = FaultEngine(
+                net,
+                FaultPlan(
+                    (
+                        NodeCrash(node=1, at=5.0, recover_at=12.0),
+                        LinkFlap(a=2, b=3, at=8.0, down=4.0, flaps=2),
+                        FragmentCorruption(node=2, at=3.0, duration=10.0,
+                                           rate=0.7),
+                    )
+                ),
+            )
+            net.run(until=30.0)
+            return engine.timeline, engine.fragments_corrupted
+
+        assert run() == run()
