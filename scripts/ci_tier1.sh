@@ -21,6 +21,14 @@ python -m repro.experiments.matchbench --smoke
 # with network size (again counters, not wall time).
 python -m repro.experiments.channelbench --smoke
 
+# Sharded-kernel smoke: spatially partitioned conservative execution
+# must produce outcomes bit-identical to the single-queue oracle across
+# scenarios (flood, mobility, diffusion), shard counts (1/2/4), and
+# both transports (inline and worker processes), with real boundary
+# traffic exchanged (outcome equality, not wall time, so it cannot
+# flake).
+python -m repro.experiments.scalebench --smoke
+
 # Fault-injection smoke: a seeded FaultPlan must replay bit-identically
 # (same timeline, same repair metrics), invariants must hold, and
 # repair must land within a bounded number of exploratory intervals

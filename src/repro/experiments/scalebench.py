@@ -1,0 +1,309 @@
+"""Sharded-kernel scale benchmark (the engine behind BENCH_shard.json).
+
+The single-queue :class:`~repro.sim.Simulator` executes one trial on
+one core; :mod:`repro.shard` cuts the deployment into spatial shards
+under conservative synchronization, with outcomes proven identical to
+the single-queue oracle.  This benchmark measures what that buys and
+what it costs:
+
+* **equivalence first** — every reported row re-asserts that the
+  sharded outcome equals the oracle's before any timing is trusted;
+* **critical path** — the longest per-shard busy time (building plus
+  window execution, measured inline where there is no scheduler
+  interference).  ``oracle_wall / max(shard busy)`` is the wall-clock
+  speedup an unloaded host with one core per shard realizes, and it is
+  the honest headline on a CI box with fewer cores than shards;
+* **process mode** — wall time of the real
+  :class:`~repro.campaign.workers.WorkerCrew` crew plus per-worker CPU
+  seconds (``time.process_time``, which excludes time blocked on peer
+  pipes), so pipe/sync overhead is visible separately from simulation
+  work;
+* **scale ceiling** — the final row runs a 10,000-node regional
+  diffusion trial through the sharded path, the size the paper's
+  large-deployment arguments want and the single-queue kernel cannot
+  touch interactively.
+
+``python -m repro.experiments.scalebench`` writes BENCH_shard.json;
+``--smoke`` is the CI gate: small grids, 1/2/4 shards, inline and
+process transports, every outcome asserted bit-identical to the
+oracle (counters, not wall time, so it cannot flake).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.shard import ShardPlan, run_oracle, run_sharded
+
+#: shard counts swept in the full benchmark.
+DEFAULT_SHARDS: Sequence[int] = (1, 2, 4)
+
+
+def _outcome_scalar(outcome: Dict) -> Dict:
+    """Outcome minus unbounded list fields, for compact JSON rows."""
+    return {
+        key: value
+        for key, value in outcome.items()
+        if not isinstance(value, list)
+    }
+
+
+def bench_row(
+    plan: ShardPlan,
+    oracle_outcome: Optional[Dict],
+    oracle_wall: Optional[float],
+    transport: str,
+    check: bool = True,
+) -> Dict:
+    """Run ``plan`` on one transport; verdict-check against the oracle."""
+    start = time.perf_counter()
+    result = run_sharded(plan, transport=transport)
+    wall = time.perf_counter() - start
+    if check and oracle_outcome is not None:
+        if result["outcome"] != oracle_outcome:
+            raise AssertionError(
+                f"sharded outcome diverged from oracle: "
+                f"{plan.scenario} {plan.params} shards={plan.shards} "
+                f"transport={transport}"
+            )
+    stats = result["shards"]
+    busy = [s["busy_seconds"] for s in stats]
+    row = {
+        "scenario": plan.scenario,
+        "n_nodes": int(plan.params.get("columns", 10))
+        * int(plan.params.get("rows", 5)),
+        "duration": plan.duration,
+        "shards": plan.shards,
+        "transport": transport,
+        "wall_seconds": round(wall, 3),
+        "max_shard_busy_seconds": round(max(busy), 3),
+        "rounds": max(s["rounds"] for s in stats),
+        "exports": sum(s["exports"] for s in stats),
+        "ghosts_admitted": sum(s["ghosts_admitted"] for s in stats),
+        "outcome": _outcome_scalar(result["outcome"]),
+        "outcome_matches_oracle": (
+            result["outcome"] == oracle_outcome
+            if oracle_outcome is not None
+            else None
+        ),
+    }
+    if transport == "process":
+        row["worker_cpu_seconds"] = [
+            round(s["cpu_seconds"], 3) for s in stats
+        ]
+    if oracle_wall is not None:
+        row["oracle_wall_seconds"] = round(oracle_wall, 3)
+        row["speedup_wall"] = round(wall and oracle_wall / wall, 2)
+        row["speedup_critical_path"] = round(
+            oracle_wall / max(busy), 2
+        )
+    return row
+
+
+def run_bench(include_10k: bool = True) -> Dict:
+    results: List[Dict] = []
+
+    # Flood on the largest BENCH_channel grid: pure channel workload.
+    plan = ShardPlan(
+        scenario="flood", params={"columns": 15, "rows": 10},
+        seed=1, duration=30.0, shards=1,
+    )
+    start = time.perf_counter()
+    oracle = run_oracle(plan)
+    oracle_wall = time.perf_counter() - start
+    for shards in DEFAULT_SHARDS:
+        row = bench_row(
+            ShardPlan(
+                scenario=plan.scenario, params=plan.params,
+                seed=plan.seed, duration=plan.duration, shards=shards,
+            ),
+            oracle, oracle_wall, transport="inline",
+        )
+        results.append(row)
+        print(_format_row(row))
+
+    # Regional diffusion at 1024 nodes: the scale workload, inline for
+    # the clean critical path and process for the real crew.
+    plan = ShardPlan(
+        scenario="regional",
+        params={"columns": 32, "rows": 32, "region": 8, "duration": 10.0},
+        seed=3, duration=10.0, shards=1,
+    )
+    start = time.perf_counter()
+    oracle = run_oracle(plan)
+    oracle_wall = time.perf_counter() - start
+    for shards in DEFAULT_SHARDS:
+        row = bench_row(
+            ShardPlan(
+                scenario=plan.scenario, params=plan.params,
+                seed=plan.seed, duration=plan.duration, shards=shards,
+            ),
+            oracle, oracle_wall, transport="inline",
+        )
+        results.append(row)
+        print(_format_row(row))
+    row = bench_row(
+        ShardPlan(
+            scenario=plan.scenario, params=plan.params,
+            seed=plan.seed, duration=plan.duration, shards=4,
+        ),
+        oracle, oracle_wall, transport="process",
+    )
+    results.append(row)
+    print(_format_row(row))
+
+    # The headline: 10,000 nodes end to end through the sharded path.
+    if include_10k:
+        plan = ShardPlan(
+            scenario="regional",
+            params={
+                "columns": 100, "rows": 100, "region": 10,
+                "duration": 2.0,
+            },
+            seed=3, duration=2.0, shards=4,
+        )
+        start = time.perf_counter()
+        oracle = run_oracle(plan)
+        oracle_wall = time.perf_counter() - start
+        row = bench_row(plan, oracle, oracle_wall, transport="inline")
+        results.append(row)
+        print(_format_row(row))
+
+    import os
+
+    return {
+        "benchmark": "sharded conservative simulation vs single queue",
+        "workloads": {
+            "flood": (
+                "every node beacons 27 bytes every ~0.5s through CSMA "
+                "(hashed loss draws), 30s simulated"
+            ),
+            "regional": (
+                "full diffusion stack, one local source->sink pair per "
+                "region block of the grid (the paper's "
+                "many-concurrent-local-tasks deployment shape)"
+            ),
+        },
+        "method": (
+            "every row's sharded outcome is asserted equal to the "
+            "single-queue oracle before timing is reported; "
+            "speedup_critical_path = oracle wall / max per-shard busy "
+            "time, the wall-clock an unloaded host with one core per "
+            "shard realizes"
+        ),
+        "host_cpus": os.cpu_count(),
+        "results": results,
+    }
+
+
+def _format_row(row: Dict) -> str:
+    speedup = row.get("speedup_critical_path")
+    return (
+        f"{row['scenario']:>9} {row['n_nodes']:>6} nodes, "
+        f"{row['shards']} shard(s) [{row['transport']}]: "
+        f"wall {row['wall_seconds']:.2f}s, max shard busy "
+        f"{row['max_shard_busy_seconds']:.2f}s"
+        + (f", critical-path speedup {speedup:.2f}x" if speedup else "")
+        + (
+            ""
+            if row["outcome_matches_oracle"] is None
+            else (
+                ", outcome == oracle"
+                if row["outcome_matches_oracle"]
+                else ", OUTCOME MISMATCH"
+            )
+        )
+    )
+
+
+def run_smoke() -> int:
+    """Deterministic CI gate: outcomes, not wall time."""
+    checks = [
+        ("flood", {"columns": 8, "rows": 4}, 5.0, (1, 2, 4), "inline"),
+        ("mobility", {"columns": 8, "rows": 4}, 8.0, (2,), "inline"),
+        (
+            "diffusion",
+            {"columns": 6, "rows": 4, "duration": 12.0},
+            12.0, (2,), "inline",
+        ),
+        ("flood", {"columns": 8, "rows": 4}, 5.0, (2,), "process"),
+    ]
+    for scenario, params, duration, shard_counts, transport in checks:
+        oracle = run_oracle(
+            ShardPlan(
+                scenario=scenario, params=params, seed=11,
+                duration=duration, shards=1,
+            )
+        )
+        for shards in shard_counts:
+            plan = ShardPlan(
+                scenario=scenario, params=params, seed=11,
+                duration=duration, shards=shards,
+            )
+            result = run_sharded(plan, transport=transport)
+            if result["outcome"] != oracle:
+                print(
+                    f"FAIL: {scenario} at {shards} shards "
+                    f"({transport}) diverged from the single-queue "
+                    f"oracle:\n  oracle:  {oracle}\n  sharded: "
+                    f"{result['outcome']}",
+                    file=sys.stderr,
+                )
+                return 1
+            ghosts = sum(
+                s["ghosts_admitted"] for s in result["shards"]
+            )
+            if shards > 1 and ghosts == 0:
+                print(
+                    f"FAIL: {scenario} at {shards} shards exchanged "
+                    f"no boundary traffic — the cut is not being "
+                    f"exercised",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"shard smoke {scenario} {shards} shard(s) "
+                f"[{transport}]: outcome identical to oracle "
+                f"({ghosts} ghosts, "
+                f"{max(s['rounds'] for s in result['shards'])} rounds)"
+            )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sharded simulation scale benchmark"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_shard.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--no-10k", action="store_true",
+        help="skip the 10,000-node headline row",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "deterministic CI mode: assert sharded == oracle outcomes "
+            "across scenarios, shard counts, and both transports"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke()
+
+    report = run_bench(include_10k=not args.no_10k)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -135,6 +135,12 @@ class Attribute:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Attribute is immutable")
 
+    def __reduce__(self):
+        # Immutability breaks the default slot-state pickling; rebuild
+        # through the constructor instead (payloads cross process
+        # boundaries in campaign workers and sharded runs).
+        return (self.__class__, (self.key, self.type, self.op, self.value))
+
     @property
     def is_actual(self) -> bool:
         return self.op.is_actual

@@ -57,6 +57,11 @@ class AttributeVector:
     def __setattr__(self, name, value):  # noqa: ANN001
         raise AttributeError("AttributeVector is immutable")
 
+    def __reduce__(self):
+        # Immutability breaks the default slot-state pickling; rebuild
+        # through the constructor (memoized digest/profile re-derive).
+        return (self.__class__, (self._attrs,))
+
     # -- sequence protocol ---------------------------------------------------
 
     def __iter__(self) -> Iterator[Attribute]:

@@ -29,12 +29,28 @@ Two delivery engines share the verdict logic:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.radio.neighborhood import NeighborhoodIndex, supports_fast_path
 from repro.sim import Simulator, TraceBus, trace_id_of
 from repro.sim.metrics import MetricsRegistry, current_registry
-from repro.sim.rng import SeedSequence
+from repro.sim.rng import SeedSequence, derive_seed
+
+_MASK64 = (1 << 64) - 1
+
+
+def _hash_unit(key: tuple) -> float:
+    """Deterministic uniform in [0, 1) keyed by ``key``.
+
+    Python's numeric hashing is stable across processes (hash
+    randomization covers only str/bytes), and the splitmix64 finalizer
+    decorrelates the structured tuple hashes into usable uniforms.
+    """
+    x = (hash(key) + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return (x >> 11) * (2.0 ** -53)
 
 
 @dataclass
@@ -88,10 +104,14 @@ class Channel:
         capture_effect: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         indexed: Optional[bool] = None,
+        loss_mode: str = "stream",
     ) -> None:
+        if loss_mode not in ("stream", "hashed"):
+            raise ValueError(f"unknown loss_mode {loss_mode!r}")
         self.sim = sim
         self.propagation = propagation
         self.capture_effect = capture_effect
+        self.loss_mode = loss_mode
         self.trace = trace or TraceBus()
         registry = metrics if metrics is not None else current_registry()
         self._m_sent = registry.counter("channel.fragments_sent")
@@ -105,7 +125,9 @@ class Channel:
         self._m_drop_loss = registry.counter(
             "channel.drops", reason="channel-loss"
         )
-        self._loss_rng = (seeds or SeedSequence(1)).stream("channel-loss")
+        seeds = seeds or SeedSequence(1)
+        self._loss_rng = seeds.stream("channel-loss")
+        self._loss_seed = derive_seed(seeds.root_seed, "channel-loss-hash")
         self._modems: Dict[int, Any] = {}
         # Per-receiver in-progress receptions keyed by transmission
         # seqno, for collision marking and O(1) completion.
@@ -114,6 +136,15 @@ class Channel:
         # Entries leave via transmission_ended or a lazy carrier-sense
         # purge; the modem's transmitting flag stays authoritative.
         self._active: Dict[int, Transmission] = {}
+        # Ghost transmissions admitted from other shards: src ->
+        # Transmission still on the air.  A remote sender has no local
+        # modem, so its airtime is tracked here for carrier sense and
+        # removed by a scheduled end event (plus a lazy end-time purge).
+        self._remote_active: Dict[int, Transmission] = {}
+        self._ghost_seqno = 0
+        # Called with each local Transmission as it starts; the shard
+        # worker exports boundary transmissions through this.
+        self.on_transmission: Optional[Callable[[Transmission], None]] = None
         if indexed is None:
             indexed = supports_fast_path(propagation)
         self.index: Optional[NeighborhoodIndex] = (
@@ -190,6 +221,15 @@ class Channel:
                 prr = self.propagation.link_prr(modem.node_id, node_id, now)
                 if prr >= self.CARRIER_SENSE_THRESHOLD:
                     return True
+            if self._remote_active:
+                for src, tx in list(self._remote_active.items()):
+                    if tx.end <= now:
+                        del self._remote_active[src]
+                        continue
+                    self.carrier_checks += 1
+                    prr = self.propagation.link_prr(src, node_id, now)
+                    if prr >= self.CARRIER_SENSE_THRESHOLD:
+                        return True
             return False
         index.sync()
         prr_memo = index.prr_memo
@@ -225,6 +265,21 @@ class Channel:
         if stale:
             for src in stale:
                 self._active.pop(src, None)
+        if not busy and self._remote_active:
+            for src, tx in list(self._remote_active.items()):
+                if tx.end <= now:
+                    del self._remote_active[src]
+                    continue
+                self.carrier_checks += 1
+                cached = prr_memo.get((src, node_id))
+                if cached is not None and now < cached[1]:
+                    index.memo_hits += 1
+                    prr = cached[0]
+                else:
+                    prr = index.link_prr(src, node_id, now)
+                if prr >= self.CARRIER_SENSE_THRESHOLD:
+                    busy = True
+                    break
         return busy
 
     # -- transmission -------------------------------------------------------
@@ -256,6 +311,8 @@ class Channel:
         self.fragments_sent += 1
         self._m_sent.inc()
         self.trace.emit(now, "channel.tx", node=src, nbytes=nbytes, dst=link_dst)
+        if self.on_transmission is not None:
+            self.on_transmission(tx)
 
         index = self.index
         if index is None:
@@ -302,6 +359,83 @@ class Channel:
                 duration, self._finish_transmission, batch, name="channel.rx"
             )
         return tx
+
+    def admit_remote_transmission(
+        self,
+        src: int,
+        payload: Any,
+        nbytes: int,
+        duration: float,
+        link_dst: Optional[int] = None,
+    ) -> Transmission:
+        """Admit a fragment whose radio lives on another shard.
+
+        Must be called at the exact simulation time the remote radio
+        keyed up (the shard runtime injects it at ``tx.start`` with a
+        pre-local priority).  The ghost then participates fully in local
+        physics — collisions, capture, carrier sense, per-link loss at
+        owned receivers — but is *not* counted as sent here and emits no
+        ``channel.tx`` trace: the owning shard already did both, and
+        merged totals must not double-count.
+        """
+        now = self.sim.now
+        # Ghost seqnos run negative so they can never collide with the
+        # local per-shard seqno space inside the _receiving maps.
+        self._ghost_seqno -= 1
+        tx = Transmission(
+            src=src,
+            start=now,
+            end=now + duration,
+            payload=payload,
+            nbytes=nbytes,
+            link_dst=link_dst,
+            seqno=self._ghost_seqno,
+        )
+        self._remote_active[src] = tx
+        self.sim.schedule(
+            duration, self._end_remote, src, tx, name="channel.ghost_end"
+        )
+
+        index = self.index
+        if index is None:
+            for node_id, modem in self._modems.items():
+                prr = self.propagation.link_prr(src, node_id, now)
+                if prr <= 0.0:
+                    continue
+                reception = self._admit_reception(tx, node_id, modem, prr)
+                self.sim.schedule(
+                    duration, self._finish_reception, node_id, reception,
+                    name="channel.rx",
+                )
+            return tx
+
+        modems = self._modems
+        audible = index.audible_from(src)  # foreign srcs cache fine
+        prr_memo = index.prr_memo
+        batch: Optional[List[Tuple[int, _Reception]]] = None
+        for node_id in audible:
+            cached = prr_memo.get((src, node_id))
+            if cached is not None and now < cached[1]:
+                index.memo_hits += 1
+                prr = cached[0]
+            else:
+                prr = index.link_prr(src, node_id, now)
+            if prr <= 0.0:
+                continue
+            reception = self._admit_reception(tx, node_id, modems[node_id], prr)
+            if batch is None:
+                batch = []
+            batch.append((node_id, reception))
+        if batch is not None:
+            self.sim.schedule(
+                duration, self._finish_transmission, batch, name="channel.rx"
+            )
+        return tx
+
+    def _end_remote(self, src: int, tx: Transmission) -> None:
+        """A ghost's airtime ended; stop asserting carrier for it."""
+        if self._remote_active.get(src) is tx:
+            del self._remote_active[src]
 
     def _admit_reception(
         self, tx: Transmission, node_id: int, modem: Any, prr: float
@@ -373,7 +507,7 @@ class Channel:
             self._m_drop_half_duplex.inc()
             self._note_radio_drop(node_id, tx, "half-duplex")
             return
-        if self._loss_rng.random() >= reception.prr:
+        if self._loss_draw(node_id, tx) >= reception.prr:
             self.fragments_lost += 1
             self._m_drop_loss.inc()
             self.trace.emit(self.sim.now, "channel.loss", node=node_id, src=tx.src)
@@ -385,6 +519,23 @@ class Channel:
             self.sim.now, "channel.rx", node=node_id, src=tx.src, nbytes=tx.nbytes
         )
         modem.deliver(tx.payload, tx.src, tx.nbytes, tx.link_dst)
+
+    def _loss_draw(self, node_id: int, tx: Transmission) -> float:
+        """The uniform deciding this reception's channel-loss fate.
+
+        ``stream`` (the default) draws from the shared channel-loss RNG
+        in global finalization order — the historical behaviour, kept
+        bit-identical for every existing experiment.  ``hashed`` keys
+        the draw on (seed, src, dst, airtime start) instead, making each
+        verdict independent of the order receptions finalize across the
+        network; the sharded kernel requires this, because shards
+        finalize receptions in per-shard order.  (src, start) uniquely
+        identifies a transmission — a radio sends one fragment at a
+        time — so retransmissions still draw fresh uniforms.
+        """
+        if self.loss_mode == "stream":
+            return self._loss_rng.random()
+        return _hash_unit((self._loss_seed, tx.src, node_id, tx.start))
 
     def _note_radio_drop(self, node_id: int, tx: Transmission, reason: str) -> None:
         """Attribute one failed reception to its cause.

@@ -29,7 +29,7 @@ Static topologies therefore compute each set exactly once per run.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 
 def supports_fast_path(model) -> bool:
@@ -171,3 +171,140 @@ class NeighborhoodIndex:
         prr, expires = self.propagation.link_prr_window(src, dst, now)
         self.prr_memo[key] = (prr, expires)
         return prr
+
+
+class BoundaryIndex:
+    """Cross-cut audibility for a spatial partition of the deployment.
+
+    Where :class:`NeighborhoodIndex` caches *who hears whom* inside one
+    channel, this answers the sharded kernel's question: given a cut of
+    the node set into *owned* and *foreign* halves, which owned nodes
+    can be heard across the cut (their transmissions must be exported),
+    and which foreign transmitters have owned listeners (their ghosts
+    must be admitted).  Everything is derived from ``link_prr_bound``,
+    so the sets are supersets and every actual delivery still re-checks
+    the exact PRR — identical to the fast-path correctness contract.
+
+    Invalidation mirrors :class:`NeighborhoodIndex`: all sets drop when
+    the model's ``prr_epoch()`` token moves (mobility crossing the cut
+    is just a topology version bump).  When the model offers an
+    ``audible_reach()`` spatial bound and positions are available, the
+    rebuild buckets foreign nodes into reach-sized grid cells and probes
+    only geometrically plausible pairs — O(boundary), not
+    O(owned x foreign), which is what keeps 10k-node sharded rebuilds
+    affordable under mobility.
+    """
+
+    def __init__(
+        self,
+        propagation,
+        owned: Iterable[int],
+        foreign: Iterable[int],
+        topology=None,
+    ) -> None:
+        if not supports_fast_path(propagation):
+            raise ValueError(
+                f"{type(propagation).__name__} does not implement the "
+                "radio fast-path protocol required for boundary queries"
+            )
+        self.propagation = propagation
+        self.owned = sorted(owned)
+        self.foreign = sorted(foreign)
+        overlap = set(self.owned) & set(self.foreign)
+        if overlap:
+            raise ValueError(f"cut is not a partition: {sorted(overlap)}")
+        self.topology = (
+            topology if topology is not None
+            else getattr(propagation, "topology", None)
+        )
+        self._epoch: object = None
+        self._built = False
+        # owned src -> foreign listeners, and foreign src -> owned
+        # listeners; absent key = nothing audible across the cut.
+        self._out: Dict[int, List[int]] = {}
+        self._in: Dict[int, List[int]] = {}
+        # Statistics (scalebench reports these).
+        self.rebuilds = 0
+        self.pair_checks = 0
+
+    # -- epoch sync ---------------------------------------------------------
+
+    def sync(self) -> None:
+        """Rebuild the cross-cut sets if the propagation epoch moved."""
+        epoch = self.propagation.prr_epoch()
+        if self._built and epoch == self._epoch:
+            return
+        self._epoch = epoch
+        self._rebuild()
+        self._built = True
+
+    def _candidate_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Geometrically plausible (owned, foreign) pairs.
+
+        Falls back to the full cross product when no spatial bound is
+        available (table models, extreme asymmetry).
+        """
+        reach_fn = getattr(self.propagation, "audible_reach", None)
+        reach = reach_fn() if reach_fn is not None else None
+        topo = self.topology
+        if reach is None or topo is None:
+            for o in self.owned:
+                for f in self.foreign:
+                    yield o, f
+            return
+        # Cell size = reach, so any audible pair lands in the same or an
+        # adjacent cell (planar distance never exceeds effective
+        # distance).
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for f in self.foreign:
+            pos = topo.position(f)
+            key = (int(pos.x // reach), int(pos.y // reach))
+            buckets.setdefault(key, []).append(f)
+        for o in self.owned:
+            pos = topo.position(o)
+            cx, cy = int(pos.x // reach), int(pos.y // reach)
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for f in buckets.get((cx + dx, cy + dy), ()):
+                        yield o, f
+
+    def _rebuild(self) -> None:
+        self._out.clear()
+        self._in.clear()
+        bound = self.propagation.link_prr_bound
+        for o, f in self._candidate_pairs():
+            self.pair_checks += 1
+            if bound(o, f) > 0.0:
+                self._out.setdefault(o, []).append(f)
+            if bound(f, o) > 0.0:
+                self._in.setdefault(f, []).append(o)
+        for listeners in self._out.values():
+            listeners.sort()
+        for listeners in self._in.values():
+            listeners.sort()
+        self.rebuilds += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def boundary_senders(self) -> Set[int]:
+        """Owned nodes some foreign node may hear: their transmissions
+        must be exported across the cut."""
+        self.sync()
+        return set(self._out)
+
+    def boundary_receivers(self) -> Set[int]:
+        """Owned nodes that may hear some foreign transmitter."""
+        self.sync()
+        receivers: Set[int] = set()
+        for listeners in self._in.values():
+            receivers.update(listeners)
+        return receivers
+
+    def listeners_across(self, src: int) -> List[int]:
+        """Nodes on the *other* side of the cut that may hear ``src``
+        this epoch (sorted).  Empty for interior nodes."""
+        self.sync()
+        hit = self._out.get(src)
+        if hit is not None:
+            return hit
+        return self._in.get(src, [])

@@ -145,6 +145,21 @@ class DistancePropagation:
         # Purely geometric: constant until the topology version bumps.
         return self.link_prr(src, dst, now), math.inf
 
+    def audible_reach(self) -> Optional[float]:
+        """Spatial hint: beyond this planar distance no link can have a
+        non-zero PRR, for any perturbation and any epoch.
+
+        The per-link factor shrinks effective distance by at most
+        ``(1 - asymmetry)``, and the floor penalty only adds distance,
+        so ``max_range / (1 - asymmetry)`` bounds the planar separation
+        of any audible pair.  :class:`~repro.radio.neighborhood.
+        BoundaryIndex` uses this to bucket boundary scans spatially
+        instead of probing every cross-cut pair.
+        """
+        if self.asymmetry >= 1.0:
+            return None
+        return self.max_range / (1.0 - self.asymmetry)
+
 
 class TablePropagation:
     """Explicit per-directed-link PRRs; absent links are out of range."""
@@ -185,6 +200,10 @@ class TablePropagation:
 
     def link_prr_window(self, src: int, dst: int, now: float) -> Tuple[float, float]:
         return self._links.get((src, dst), 0.0), math.inf
+
+    def audible_reach(self) -> Optional[float]:
+        # Table links are not geometric; no spatial bound exists.
+        return None
 
 
 class GilbertElliotLink:
@@ -262,3 +281,9 @@ class GilbertElliotLink:
         state = self._advance((src, dst), now)
         prr = base_prr if state[0] else base_prr * self.bad_scale
         return prr, min(base_expiry, state[2])
+
+    def audible_reach(self) -> Optional[float]:
+        # The overlay scales PRRs but never resurrects a zero link, so
+        # the base model's spatial bound carries over unchanged.
+        reach = getattr(self.base, "audible_reach", None)
+        return reach() if reach is not None else None

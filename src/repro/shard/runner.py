@@ -1,0 +1,199 @@
+"""Drivers for sharded runs and their single-queue oracle.
+
+Three ways to execute the same :class:`~repro.shard.worker.ShardPlan`:
+
+* :func:`run_oracle` — the whole network in one
+  :class:`~repro.sim.Simulator`.  This is the trusted reference: the
+  sharded paths exist to reproduce its outcome faster, never to define
+  a different one.
+* :func:`run_sharded` with ``transport="inline"`` — all shard runtimes
+  in the calling process, stepped through the same conservative
+  protocol as the process mode.  Deterministic and debuggable; this is
+  what the equivalence suite sweeps.
+* :func:`run_sharded` with ``transport="process"`` — one OS process
+  per shard via :class:`~repro.campaign.workers.WorkerCrew`, all-to-all
+  pipes, no coordinator on the hot path.  This is the mode that buys
+  wall-clock speedup on multi-core hosts.
+
+Outcomes are merged with :func:`merge_outcomes` (ints/floats sum,
+lists concatenate sorted, dicts recurse), so a K-shard result is
+directly comparable to the oracle's dict.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, List, Optional
+
+import repro.core.messages as core_messages
+from repro.campaign.workers import WorkerCrew
+from repro.shard.scenario import get_scenario
+from repro.shard.worker import (
+    STALL_LIMIT,
+    ExportedTx,
+    ShardPlan,
+    ShardRuntime,
+    next_horizon,
+    shard_worker_main,
+)
+from repro.sim.metrics import MetricsRegistry, use_registry
+
+
+def merge_outcomes(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-shard outcome dicts into one network-wide outcome."""
+    if not parts:
+        return {}
+    merged: Dict[str, Any] = {}
+    for key in parts[0]:
+        values = [part[key] for part in parts]
+        first = values[0]
+        if isinstance(first, dict):
+            merged[key] = merge_outcomes(values)
+        elif isinstance(first, bool):
+            merged[key] = any(values)
+        elif isinstance(first, (int, float)):
+            merged[key] = sum(values)
+        elif isinstance(first, list):
+            combined: List[Any] = []
+            for value in values:
+                combined.extend(value)
+            merged[key] = sorted(combined)
+        else:
+            raise TypeError(
+                f"outcome key {key!r} has unmergeable type "
+                f"{type(first).__name__}"
+            )
+    return merged
+
+
+def run_oracle(plan: ShardPlan) -> Dict[str, Any]:
+    """The whole plan in one event queue — the ground-truth outcome.
+
+    Builds with every node owned, schedules the identical move events
+    at the same priority the shards use, and runs straight through.
+    """
+    core_messages._msg_counter = itertools.count(1)
+    scenario = get_scenario(plan.scenario)
+    topology = scenario.topology(plan.params)
+    net = scenario.build(
+        topology, topology.node_ids(), plan.params, plan.seed
+    )
+    for t, node, x, y in sorted(scenario.move_schedule(plan.params, topology)):
+        net.sim.schedule_at(
+            t, topology.move_node, node, x, y,
+            name="shard.move", priority=-2,
+        )
+    net.sim.run(until=plan.duration)
+    return net.outcome()
+
+
+def run_sharded(
+    plan: ShardPlan,
+    transport: str = "inline",
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Execute ``plan`` across ``plan.shards`` shards.
+
+    Returns ``{"outcome": merged outcome, "shards": [per-shard stats],
+    "metrics": [per-shard metric snapshots]}``.
+    """
+    if transport == "inline":
+        results = _run_inline(plan)
+    elif transport == "process":
+        results = _run_process(plan, timeout=timeout)
+    else:
+        raise ValueError(f"unknown transport {transport!r}")
+    return {
+        "outcome": merge_outcomes([r["outcome"] for r in results]),
+        "shards": [r["stats"] for r in results],
+        "metrics": [r["metrics"] for r in results],
+    }
+
+
+def _run_process(
+    plan: ShardPlan, timeout: Optional[float]
+) -> List[Dict[str, Any]]:
+    with WorkerCrew(
+        plan.shards, "repro.shard.worker:shard_worker_main"
+    ) as crew:
+        crew.start([plan] * plan.shards)
+        return crew.collect(timeout=timeout)
+
+
+def _run_inline(plan: ShardPlan) -> List[Dict[str, Any]]:
+    """All shards in-process, same round protocol as the worker loop.
+
+    Each runtime gets its own metrics registry so per-shard kernel
+    gauges don't collide; message ids share one counter (uniqueness
+    per origin node is all correctness needs).
+    """
+    core_messages._msg_counter = itertools.count(1)
+    registries = [MetricsRegistry() for _ in range(plan.shards)]
+    runtimes: List[ShardRuntime] = []
+    for rank in range(plan.shards):
+        with use_registry(registries[rank]):
+            runtimes.append(ShardRuntime(plan, rank))
+    duration = plan.duration
+    outboxes: List[List[ExportedTx]] = [[] for _ in runtimes]
+    finalized = [False] * plan.shards
+    stalled = 0
+    while not all(finalized):
+        # Identical ordering to the process mode: promises are computed
+        # before this round's ghosts are injected; the export term of
+        # next_horizon() compensates.
+        promises = [
+            math.inf if finalized[i] else rt.promise()
+            for i, rt in enumerate(runtimes)
+        ]
+        all_exports = [rec for outbox in outboxes for rec in outbox]
+        events_before = sum(rt.stats.events for rt in runtimes)
+        for i, rt in enumerate(runtimes):
+            if finalized[i]:
+                continue
+            rt.inject(
+                rec
+                for j, outbox in enumerate(outboxes)
+                if j != i
+                for rec in outbox
+            )
+        next_outboxes: List[List[ExportedTx]] = [[] for _ in runtimes]
+        for i, rt in enumerate(runtimes):
+            if finalized[i]:
+                continue
+            horizon = next_horizon(
+                (p for j, p in enumerate(promises) if j != i),
+                all_exports, rt.lookahead, duration,
+            )
+            if horizon >= duration:
+                next_outboxes[i], finalized[i] = rt.advance(
+                    duration, inclusive=True, final=True
+                )
+            else:
+                next_outboxes[i], _reached = rt.advance(
+                    horizon, inclusive=promises[i] <= horizon
+                )
+        outboxes = next_outboxes
+        if (
+            sum(rt.stats.events for rt in runtimes) == events_before
+            and not all_exports
+        ):
+            stalled += 1
+            if stalled > STALL_LIMIT:
+                raise RuntimeError("conservative sync stalled")
+        else:
+            stalled = 0
+    results = []
+    for rank, rt in enumerate(runtimes):
+        result = rt.result()
+        result["metrics"] = registries[rank].snapshot()
+        results.append(result)
+    return results
+
+
+__all__ = [
+    "merge_outcomes",
+    "run_oracle",
+    "run_sharded",
+    "shard_worker_main",
+]

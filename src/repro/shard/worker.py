@@ -1,0 +1,481 @@
+"""Shard runtime: one spatial shard under conservative synchronization.
+
+A :class:`ShardRuntime` owns one shard's :class:`~repro.sim.Simulator`
+and :class:`~repro.radio.Channel`, built by a scenario for the shard's
+owned node subset against the *global* topology.  Execution alternates
+windows and exchanges:
+
+1. **Promise.**  After each window the shard computes the earliest
+   simulation time at which it could possibly start a transmission some
+   foreign node hears.  Three terms, each a lower bound by the MAC
+   timing contract (every ``channel.start_transmission`` happens inside
+   a ``csma.attempt``/``csma.backoff`` event, and every new attempt is
+   scheduled at least ``interframe_gap`` after its trigger):
+
+   * the earliest queued attempt event of a *frontier* node (a node
+     some foreign node can hear, per
+     :class:`~repro.radio.neighborhood.BoundaryIndex`) — it may
+     transmit at its own timestamp;
+   * the earliest unexecuted topology move — after a move the frontier
+     itself is stale, so no window may cross one (moves are globally
+     pre-scheduled, so every shard promises the same barrier);
+   * the earliest queued event of any kind plus the lookahead — any
+     *other* event can only trigger an attempt at least one interframe
+     gap later.
+
+2. **Exchange.**  Shards swap ``(promise, outbox)`` all-to-all and each
+   computes the identical next horizon ``H = min(all promises, min
+   over exported transmissions of end-of-airtime + lookahead,
+   duration)``.  The second term covers influence that is in flight but
+   not yet injected: a ghost's earliest downstream transmission follows
+   its delivery at end-of-airtime by at least the lookahead.
+
+3. **Inject.**  Foreign transmissions audible to some owned node are
+   scheduled at their exact start times as ghost admissions
+   (:meth:`~repro.radio.channel.Channel.admit_remote_transmission`)
+   with priority ``-1`` so they precede same-instant local events.
+
+4. **Window.**  Every shard runs to ``H`` — exclusively, unless its own
+   promise equals ``H`` (then inclusively: it owns the earliest
+   potential boundary transmission, and executing it is what guarantees
+   global progress).  Transmissions by frontier nodes are captured via
+   the channel's ``on_transmission`` hook into the next outbox.
+
+When ``H`` reaches the trial duration, all promises are ≥ duration —
+no shard can transmit across any cut again within the horizon — and
+every shard finishes independently with one inclusive window.
+
+The protocol is exact, not approximate: outcomes match the single-queue
+oracle event-for-event, up to cross-shard events scheduled at exactly
+equal floating-point times (jittered per-node delays make such ties
+measure-zero; tests/test_shard_equivalence.py asserts exact equality on
+seeded scenarios).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import repro.core.messages as core_messages
+from repro.mac import CsmaMac
+from repro.radio.neighborhood import BoundaryIndex
+from repro.shard.partition import partition_nodes
+from repro.shard.scenario import ShardNet, get_scenario
+from repro.sim.metrics import current_registry, use_registry
+
+#: event names that may call ``channel.start_transmission`` at their own
+#: timestamp; everything else can only do so one interframe gap later.
+ATTEMPT_EVENTS = ("csma.attempt", "csma.backoff")
+
+#: consecutive zero-progress rounds before the sync loop declares a
+#: stall (a correct run executes at least one event globally per round).
+STALL_LIMIT = 10_000
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Everything a worker needs to build and run its shard."""
+
+    scenario: str
+    params: Dict[str, Any]
+    seed: int
+    duration: float
+    shards: int
+    partition: str = "grid"
+
+
+@dataclass(frozen=True)
+class ExportedTx:
+    """One boundary transmission crossing shards."""
+
+    src: int
+    start: float
+    end: float
+    nbytes: int
+    payload: Any
+    link_dst: Optional[int]
+
+
+@dataclass
+class ShardStats:
+    """Per-shard accounting reported alongside the merged outcome."""
+
+    rank: int
+    owned: int
+    rounds: int = 0
+    events: int = 0
+    exports: int = 0
+    ghosts_admitted: int = 0
+    ghosts_skipped: int = 0
+    boundary_rebuilds: int = 0
+    boundary_pair_checks: int = 0
+    #: perf_counter seconds spent building and running windows — the
+    #: shard's share of the critical path in inline mode.
+    busy_seconds: float = 0.0
+    #: process mode only: CPU seconds of the whole worker process,
+    #: which excludes time blocked on peer pipes — the faithful
+    #: per-shard work measure even on an oversubscribed host.
+    cpu_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(vars(self))
+
+
+class ShardRuntime:
+    """One shard's simulator plus the bookkeeping for its promises."""
+
+    def __init__(self, plan: ShardPlan, rank: int) -> None:
+        if not 0 <= rank < plan.shards:
+            raise ValueError(f"rank {rank} outside 0..{plan.shards - 1}")
+        build_start = time.perf_counter()
+        self.plan = plan
+        self.rank = rank
+        scenario = get_scenario(plan.scenario)
+        topology = scenario.topology(plan.params)
+        parts = partition_nodes(
+            topology, plan.shards, method=plan.partition, seed=plan.seed
+        )
+        self.owned: List[int] = parts[rank]
+        self.net: ShardNet = scenario.build(
+            topology, self.owned, plan.params, plan.seed
+        )
+        self.sim = self.net.sim
+        self.channel = self.net.channel
+        self.stats = ShardStats(rank=rank, owned=len(self.owned))
+        registry = current_registry()
+        self._m_rounds = registry.counter("shard.rounds", shard=rank)
+        self._m_exports = registry.counter("shard.exports", shard=rank)
+        self._m_ghosts = registry.counter("shard.ghosts_admitted", shard=rank)
+
+        # The MAC timing contract the promise terms rest on.
+        lookaheads = []
+        for node_id, mac in self.net.macs.items():
+            if not isinstance(mac, CsmaMac):
+                raise TypeError(
+                    f"sharded execution requires CsmaMac everywhere; node "
+                    f"{node_id} has {type(mac).__name__}"
+                )
+            lookaheads.append(min(mac.interframe_gap, mac.min_backoff))
+        if not lookaheads:
+            raise ValueError(f"shard {rank} built no MACs")
+        self.lookahead = min(lookaheads)
+
+        # Globally identical move schedule; priority -2 puts a move
+        # ahead of any same-instant traffic (ghosts run at -1).
+        self._move_events = [
+            self.sim.schedule_at(
+                t, self._apply_move, node, x, y,
+                name="shard.move", priority=-2,
+            )
+            for t, node, x, y in sorted(
+                scenario.move_schedule(plan.params, topology)
+            )
+        ]
+
+        self._outbox: List[ExportedTx] = []
+        self._attempts: List[Tuple[float, int, Any]] = []
+        self._window_horizon = math.inf
+        self._window_truncated = False
+        if plan.shards > 1:
+            owned_set = set(self.owned)
+            foreign = [
+                n for n in topology.node_ids() if n not in owned_set
+            ]
+            self.boundary: Optional[BoundaryIndex] = BoundaryIndex(
+                self.net.propagation, self.owned, foreign, topology
+            )
+            self._frontier = self.boundary.boundary_senders()
+            self._epoch = self.net.propagation.prr_epoch()
+            self.channel.on_transmission = self._on_transmission
+            self.sim.set_schedule_observer(self._on_schedule)
+            # Catch attempts queued during construction.
+            self._rebuild_attempts()
+        else:
+            self.boundary = None
+            self._frontier = set()
+        self.stats.busy_seconds += time.perf_counter() - build_start
+
+    # -- hooks ----------------------------------------------------------------
+
+    def _apply_move(self, node: int, x: float, y: float) -> None:
+        self.net.topology.move_node(node, x, y)
+
+    def _on_schedule(self, event) -> None:
+        if event.name in ATTEMPT_EVENTS:
+            mac = getattr(event.callback, "__self__", None)
+            if mac is not None and mac.node_id in self._frontier:
+                heapq.heappush(
+                    self._attempts, (event.time, event.seq, event)
+                )
+
+    def _on_transmission(self, tx) -> None:
+        if tx.src in self._frontier:
+            self._outbox.append(
+                ExportedTx(
+                    src=tx.src, start=tx.start, end=tx.end,
+                    nbytes=tx.nbytes, payload=tx.payload,
+                    link_dst=tx.link_dst,
+                )
+            )
+            # Boomerang cap: peers were promised nothing before this
+            # round's horizon, but *this* transmission can provoke a
+            # foreign reaction as early as its end of airtime plus one
+            # lookahead.  If that lands inside the current window, end
+            # the window here — the reaction arrives in a later round
+            # and the remaining span is re-run under fresh horizons.
+            cap = tx.end + self.lookahead
+            if cap < self._window_horizon:
+                self._window_truncated = True
+                self.sim.stop()
+
+    def _rebuild_attempts(self) -> None:
+        self._attempts = [
+            (event.time, event.seq, event)
+            for event in self.sim.pending_events()
+            if event.name in ATTEMPT_EVENTS
+            and getattr(event.callback, "__self__", None) is not None
+            and event.callback.__self__.node_id in self._frontier
+        ]
+        heapq.heapify(self._attempts)
+
+    def _refresh_boundary(self) -> None:
+        """After a window: if geometry moved, recompute the frontier and
+        rebuild the attempt bookkeeping (an interior node may have
+        become audible across the cut, and its already-queued attempts
+        must start counting)."""
+        if self.boundary is None:
+            return
+        epoch = self.net.propagation.prr_epoch()
+        if epoch == self._epoch:
+            return
+        self._epoch = epoch
+        self._frontier = self.boundary.boundary_senders()
+        self._rebuild_attempts()
+
+    # -- protocol steps -------------------------------------------------------
+
+    def promise(self) -> float:
+        """Earliest time this shard could start a boundary transmission."""
+        attempts = self._attempts
+        while attempts:
+            _t, _seq, event = attempts[0]
+            # _owner is cleared on dispatch, so this also drops entries
+            # that already executed inside the last window.
+            if event.cancelled or event._owner is None:
+                heapq.heappop(attempts)
+                continue
+            break
+        t_attempt = attempts[0][0] if attempts else math.inf
+        moves = self._move_events
+        while moves and moves[0]._owner is None:
+            moves.pop(0)
+        t_move = moves[0].time if moves else math.inf
+        peek = self.sim.peek_time()
+        t_other = peek + self.lookahead if peek is not None else math.inf
+        return min(t_attempt, t_move, t_other)
+
+    def inject(self, records: Iterable[ExportedTx]) -> None:
+        """Schedule foreign transmissions as ghost admissions."""
+        boundary = self.boundary
+        if boundary is None:
+            return
+        for rec in records:
+            if not boundary.listeners_across(rec.src):
+                self.stats.ghosts_skipped += 1
+                continue
+            self.sim.schedule_at(
+                rec.start,
+                self.channel.admit_remote_transmission,
+                rec.src, rec.payload, rec.nbytes, rec.end - rec.start,
+                rec.link_dst,
+                name="shard.ghost", priority=-1,
+            )
+            self.stats.ghosts_admitted += 1
+            self._m_ghosts.inc()
+
+    def advance(
+        self, horizon: float, inclusive: bool, final: bool = False
+    ) -> Tuple[List[ExportedTx], bool]:
+        """Run one window.
+
+        Returns ``(exports, reached)`` — the boundary transmissions the
+        window made, and whether it ran all the way to ``horizon``
+        (False when the boomerang cap in :meth:`_on_transmission` ended
+        it early; a final window that was cut short has NOT finished
+        the run and the caller must keep exchanging).
+        """
+        window_start = time.perf_counter()
+        self._window_horizon = horizon
+        self._window_truncated = False
+        processed = self.sim.run_window(
+            horizon, inclusive=inclusive, advance_clock=final
+        )
+        reached = not self._window_truncated
+        self._window_horizon = math.inf
+        self.stats.busy_seconds += time.perf_counter() - window_start
+        self.stats.rounds += 1
+        self.stats.events += processed
+        self._m_rounds.inc()
+        self._refresh_boundary()
+        outbox = self._outbox
+        self._outbox = []
+        self.stats.exports += len(outbox)
+        self._m_exports.inc(len(outbox))
+        return outbox, reached
+
+    def result(self) -> Dict[str, Any]:
+        """Outcome plus shard accounting, after the final window."""
+        if self.boundary is not None:
+            self.stats.boundary_rebuilds = self.boundary.rebuilds
+            self.stats.boundary_pair_checks = self.boundary.pair_checks
+        return {
+            "outcome": self.net.outcome(),
+            "stats": self.stats.as_dict(),
+        }
+
+
+def next_horizon(
+    peer_promises: Iterable[float],
+    exports: Iterable[ExportedTx],
+    lookahead: float,
+    duration: float,
+) -> float:
+    """One shard's private window horizon for this round.
+
+    Deliberately excludes the shard's *own* promise: a shard's future
+    transmissions are events it will simulate itself, so only foreign
+    influence bounds its window.  That asymmetry is what lets the
+    globally earliest shard batch an entire run of local attempts up to
+    the next foreign constraint in one window, instead of the whole
+    crew stepping one attempt per round.
+
+    The export term covers influence announced but not yet reacted to:
+    promises in this round's messages were computed before this round's
+    ghosts were injected anywhere, and a ghost cannot trigger a
+    downstream transmission before its airtime ends plus one lookahead.
+    """
+    horizon = duration
+    for p in peer_promises:
+        if p < horizon:
+            horizon = p
+    for rec in exports:
+        bound = rec.end + lookahead
+        if bound < horizon:
+            horizon = bound
+    return horizon
+
+
+def shard_worker_main(rank, size, peers, plan: ShardPlan):
+    """:class:`~repro.campaign.workers.WorkerCrew` entry point.
+
+    Runs the exchange/inject/window loop against all-to-all peer pipes;
+    there is no coordinator on the hot path.  Because horizons are
+    per-shard, shards finish at different rounds: a finished shard
+    keeps exchanging ``(inf, outbox, done=True)`` — its final window's
+    exports still matter to slower peers — until every peer has
+    reported done, so no pipe is ever left with a blocked reader.
+    """
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    # Per-process message-id namespace: ids must be unique per origin
+    # network-wide, and shards host disjoint origins, but keeping the
+    # namespaces disjoint too makes cross-shard logs unambiguous.
+    core_messages._msg_counter = itertools.count(1 + rank * 10 ** 9)
+    with use_registry() as registry:
+        runtime = ShardRuntime(plan, rank)
+        duration = plan.duration
+        peer_order = sorted(peers)
+        pending: List[ExportedTx] = []
+        finalized = False
+        peers_done = {r: False for r in peer_order}
+        stalled = 0
+        last_horizon = -math.inf
+        while True:
+            promise = math.inf if finalized else runtime.promise()
+            my_exports = pending
+            received = _exchange_all(
+                rank, peers, (promise, pending, finalized)
+            )
+            pending = []
+            for peer_rank, (_p, _outbox, done) in received.items():
+                peers_done[peer_rank] = peers_done[peer_rank] or done
+            if finalized:
+                if all(peers_done.values()):
+                    break
+                continue
+            all_exports = list(my_exports)
+            for _p, outbox, _done in received.values():
+                all_exports.extend(outbox)
+            for peer_rank in peer_order:
+                runtime.inject(received[peer_rank][1])
+            horizon = next_horizon(
+                (received[r][0] for r in peer_order),
+                all_exports, runtime.lookahead, duration,
+            )
+            if horizon >= duration:
+                pending, finalized = runtime.advance(
+                    duration, inclusive=True, final=True
+                )
+                continue
+            if horizon == last_horizon and not all_exports:
+                stalled += 1
+                if stalled > STALL_LIMIT:
+                    raise RuntimeError(
+                        f"shard {rank}: conservative sync stalled at "
+                        f"t={horizon}"
+                    )
+            else:
+                stalled = 0
+            last_horizon = horizon
+            pending, _reached = runtime.advance(
+                horizon, inclusive=promise <= horizon
+            )
+        runtime.stats.cpu_seconds = time.process_time() - cpu_start
+        runtime.stats.wall_seconds = time.perf_counter() - wall_start
+        result = runtime.result()
+        result["metrics"] = registry.snapshot()
+        return result
+
+
+#: eager-exchange cutoff; comfortably below the smallest OS pipe
+#: buffer, so firing to every peer before reading cannot block.
+_EAGER_SEND_LIMIT = 16384
+
+
+def _exchange_all(rank, peers, payload):
+    """Deadlock-free all-to-all exchange of one pickled message.
+
+    The payload is pickled once.  Small blobs (the overwhelmingly
+    common case — a promise and a handful of exports) are fired to
+    every peer before any read, so the whole exchange costs each worker
+    one wakeup.  Oversized blobs fall back to pairwise rendezvous in
+    ascending rank order with the lower rank sending first, which
+    cannot cycle even when a send blocks on a full pipe.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    received = {}
+    order = sorted(peers)
+    if len(blob) <= _EAGER_SEND_LIMIT:
+        for peer_rank in order:
+            peers[peer_rank].send_bytes(blob)
+        for peer_rank in order:
+            received[peer_rank] = pickle.loads(
+                peers[peer_rank].recv_bytes()
+            )
+    else:
+        for peer_rank in order:
+            conn = peers[peer_rank]
+            if rank < peer_rank:
+                conn.send_bytes(blob)
+                received[peer_rank] = pickle.loads(conn.recv_bytes())
+            else:
+                received[peer_rank] = pickle.loads(conn.recv_bytes())
+                conn.send_bytes(blob)
+    return received

@@ -1,8 +1,13 @@
 """Event loop: a heap of timestamped callbacks with stable ordering.
 
-Determinism matters for reproducing the paper's experiments, so ties in
-time are broken by a monotonically increasing sequence number: two events
-scheduled for the same instant fire in the order they were scheduled.
+Determinism matters for reproducing the paper's experiments, so event
+ordering is an explicit total order ``(time, priority, seq)``: ties in
+time are broken first by a small integer priority (lower runs first,
+default 0) and then by a monotonically increasing sequence number, so
+two events scheduled for the same instant at the same priority fire in
+the order they were scheduled.  Priorities exist for callers that must
+interleave externally-sourced events (e.g. cross-shard ghost
+transmissions in :mod:`repro.shard`) ahead of same-instant local work.
 """
 
 from __future__ import annotations
@@ -10,7 +15,9 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.sim.metrics import current_registry
 
 
 class SimulationError(RuntimeError):
@@ -92,7 +99,10 @@ class Event:
     they dominate it (lazy deletion with bounded garbage).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name", "_owner")
+    __slots__ = (
+        "time", "seq", "priority", "callback", "args", "cancelled", "name",
+        "_owner",
+    )
 
     def __init__(
         self,
@@ -102,9 +112,11 @@ class Event:
         args: tuple,
         name: str = "",
         owner: Optional["Simulator"] = None,
+        priority: int = 0,
     ) -> None:
         self.time = time
         self.seq = seq
+        self.priority = priority
         self.callback = callback
         self.args = args
         self.cancelled = False
@@ -120,7 +132,9 @@ class Event:
             self._owner._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -152,6 +166,18 @@ class Simulator:
         self.events_processed = 0
         self.compactions = 0
         self._profiler: Optional[KernelProfiler] = None
+        # Called with each freshly scheduled Event (repro.shard uses this
+        # to track transmission-capable events for its lookahead promise).
+        self._on_schedule: Optional[Callable[[Event], None]] = None
+        # Queue-health instruments (null no-ops outside use_registry):
+        # cancellations and compactions are cold paths, and the
+        # processed/pending gauges are settled once per run loop exit,
+        # so the hot path pays nothing for them.
+        registry = current_registry()
+        self._m_compactions = registry.counter("kernel.compactions")
+        self._m_cancelled = registry.counter("kernel.cancelled_events")
+        self._m_processed = registry.gauge("kernel.events_processed")
+        self._m_pending = registry.gauge("kernel.pending_events")
 
     def enable_profiler(self) -> KernelProfiler:
         """Attach (or return the existing) event-loop profiler."""
@@ -163,20 +189,34 @@ class Simulator:
     def profiler(self) -> Optional[KernelProfiler]:
         return self._profiler
 
+    def set_schedule_observer(
+        self, observer: Optional[Callable[[Event], None]]
+    ) -> None:
+        """Install ``observer`` to be called with every scheduled event.
+
+        One observer at most; pass None to remove.  The observer must
+        not schedule or cancel events itself.
+        """
+        self._on_schedule = observer
+
     def schedule(
         self,
         delay: float,
         callback: Callable[..., Any],
         *args: Any,
         name: str = "",
+        priority: int = 0,
     ) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         event = Event(
-            self.now + delay, next(self._seq), callback, args, name=name, owner=self
+            self.now + delay, next(self._seq), callback, args, name=name,
+            owner=self, priority=priority,
         )
         heapq.heappush(self._heap, event)
+        if self._on_schedule is not None:
+            self._on_schedule(event)
         return event
 
     def schedule_at(
@@ -185,14 +225,18 @@ class Simulator:
         callback: Callable[..., Any],
         *args: Any,
         name: str = "",
+        priority: int = 0,
     ) -> Event:
         """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        event = Event(time, next(self._seq), callback, args, name=name, owner=self)
+        event = Event(time, next(self._seq), callback, args, name=name,
+                      owner=self, priority=priority)
         heapq.heappush(self._heap, event)
+        if self._on_schedule is not None:
+            self._on_schedule(event)
         return event
 
     def stop(self) -> None:
@@ -208,6 +252,7 @@ class Simulator:
         """Called by :meth:`Event.cancel` the first time an event owned
         by this simulator is cancelled while still queued."""
         self._cancelled += 1
+        self._m_cancelled.inc()
         if (
             self._cancelled >= self.COMPACT_MIN_GARBAGE
             and self._cancelled * 2 > len(self._heap)
@@ -220,6 +265,18 @@ class Simulator:
         heapq.heapify(self._heap)
         self._cancelled = 0
         self.compactions += 1
+        self._m_compactions.inc()
+
+    def pending_events(self) -> Iterator[Event]:
+        """Iterate over queued, uncancelled events in arbitrary order.
+
+        For introspection (the shard runtime rebuilds its lookahead
+        bookkeeping from this after a topology epoch change); callers
+        must not mutate the queue while iterating.
+        """
+        for event in self._heap:
+            if not event.cancelled:
+                yield event
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
@@ -231,12 +288,15 @@ class Simulator:
             return None
         return heap[0].time
 
-    def _pop_next(self, until: Optional[float]) -> Optional[Event]:
+    def _pop_next(
+        self, until: Optional[float], strict: bool = False
+    ) -> Optional[Event]:
         """Pop and return the next live event at or before ``until``.
 
         Cancelled heap tops are discarded along the way.  Returns None
         when the queue is empty or the next live event lies beyond the
-        horizon (that event stays queued).
+        horizon (that event stays queued).  With ``strict`` the horizon
+        is exclusive: an event at exactly ``until`` stays queued.
         """
         heap = self._heap
         while heap:
@@ -245,7 +305,9 @@ class Simulator:
                 heapq.heappop(heap)
                 self._cancelled -= 1
                 continue
-            if until is not None and head.time > until:
+            if until is not None and (
+                head.time > until or (strict and head.time == until)
+            ):
                 return None
             return heapq.heappop(heap)
         return None
@@ -307,3 +369,52 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+            self._settle_gauges()
+
+    def run_window(
+        self,
+        horizon: float,
+        inclusive: bool = False,
+        advance_clock: bool = False,
+    ) -> int:
+        """Run events up to ``horizon`` and return how many were processed.
+
+        This is the safe-window stepping API used by the sharded kernel
+        (:mod:`repro.shard`): a conservative synchronizer computes a
+        horizon no cross-shard influence can precede, then each shard
+        drains its queue up to it.  The horizon is *exclusive* by
+        default — an event at exactly ``horizon`` stays queued for the
+        next window — because only the shard owning the globally
+        earliest potential transmission may execute events at the
+        horizon itself (``inclusive=True``).
+
+        Unlike :meth:`run`, the clock is left at the last executed
+        event so externally sourced events may still be injected
+        anywhere inside ``[now, horizon]`` before the next window;
+        ``advance_clock`` restores the :meth:`run` behaviour of
+        settling the clock on the horizon (used for the final window).
+        """
+        if self._running:
+            raise SimulationError("run_window() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while not self._stopped:
+                event = self._pop_next(horizon, strict=not inclusive)
+                if event is None:
+                    break
+                self._dispatch(event)
+                processed += 1
+            if advance_clock and self.now < horizon and not self._stopped:
+                self.now = horizon
+        finally:
+            self._running = False
+            self._settle_gauges()
+        return processed
+
+    def _settle_gauges(self) -> None:
+        """Publish queue health to the metrics registry (run-loop exits
+        only, so per-event cost is zero)."""
+        self._m_processed.set(self.events_processed)
+        self._m_pending.set(self.pending)

@@ -12,7 +12,7 @@ node, plus energy ledgers and a shared trace bus.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core import DiffusionConfig, DiffusionNode, DiffusionRouting
 from repro.energy import NetworkEnergyAccount
@@ -131,6 +131,8 @@ class SensorNetwork:
         mac_queue_limit: int = 64,
         mac_factory=None,
         channel_indexed: Optional[bool] = None,
+        loss_mode: str = "stream",
+        nodes: Optional[Iterable[int]] = None,
     ) -> None:
         self.topology = topology
         self.config = config or DiffusionConfig()
@@ -145,13 +147,23 @@ class SensorNetwork:
         # scan (the equivalence suite and channelbench compare the two).
         self.channel = Channel(
             self.sim, self.propagation, seeds=self.seeds, trace=self.trace,
-            indexed=channel_indexed,
+            indexed=channel_indexed, loss_mode=loss_mode,
         )
         self.energy_account = NetworkEnergyAccount()
         # mac_factory(sim, modem, rng, queue_limit) -> Mac; None = CSMA.
         self.mac_factory = mac_factory
         self.stacks: Dict[int, NodeStack] = {}
-        for node_id in topology.node_ids():
+        # nodes: build stacks for this subset only (a shard builds just
+        # its owned nodes against the full topology).  Per-node RNG
+        # streams are derived by label, not drawn in sequence, so a
+        # subset build consumes exactly the streams the same nodes
+        # would consume in a whole-network build.
+        build_ids = (
+            topology.node_ids() if nodes is None else sorted(nodes)
+        )
+        for node_id in build_ids:
+            if not topology.has_node(node_id):
+                raise ValueError(f"node {node_id} is not in the topology")
             self._build_node(node_id, mac_queue_limit)
 
     def _build_node(self, node_id: int, mac_queue_limit: int) -> None:

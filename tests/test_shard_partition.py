@@ -1,0 +1,116 @@
+"""Spatial partitioners for the sharded kernel.
+
+A partition must be a true partition (every node in exactly one
+shard), deterministic (the same topology and arguments always produce
+the same cut — shard equivalence depends on it), and balanced enough
+that the critical path is not one overloaded shard.
+"""
+
+import pytest
+
+from repro.radio import Topology
+from repro.shard import grid_partition, kmeans_partition, partition_nodes
+
+
+def grid_topology(columns, rows, spacing=10.0):
+    topo = Topology()
+    for r in range(rows):
+        for c in range(columns):
+            topo.add_node(r * columns + c, c * spacing, r * spacing)
+    return topo
+
+
+def assert_is_partition(parts, topology):
+    flat = [n for part in parts for n in part]
+    assert sorted(flat) == topology.node_ids()
+    assert len(flat) == len(set(flat))
+    assert all(part for part in parts)
+
+
+@pytest.mark.parametrize("method", ["grid", "kmeans"])
+@pytest.mark.parametrize("shards", [1, 2, 3, 4, 7])
+def test_every_node_lands_in_exactly_one_shard(method, shards):
+    topo = grid_topology(8, 6)
+    parts = partition_nodes(topo, shards, method=method)
+    assert len(parts) == shards
+    assert_is_partition(parts, topo)
+
+
+@pytest.mark.parametrize("method", ["grid", "kmeans"])
+def test_partition_is_deterministic(method):
+    a = partition_nodes(grid_topology(9, 5), 4, method=method)
+    b = partition_nodes(grid_topology(9, 5), 4, method=method)
+    assert a == b
+
+
+@pytest.mark.parametrize("method", ["grid", "kmeans"])
+@pytest.mark.parametrize("shards", [2, 4, 8])
+def test_partition_is_balanced(method, shards):
+    topo = grid_topology(16, 8)   # 128 nodes
+    parts = partition_nodes(topo, shards, method=method)
+    sizes = [len(p) for p in parts]
+    ideal = len(topo) / shards
+    assert max(sizes) <= ideal * 1.5
+    assert min(sizes) >= ideal * 0.5
+
+
+def test_grid_partition_cuts_are_spatially_contiguous_slabs():
+    """A 2-shard grid cut of a wide grid splits along x: each shard
+    holds whole columns, so the boundary is one column seam."""
+    topo = grid_topology(10, 4)
+    left, right = grid_partition(topo, 2)
+    max_left_x = max(topo.position(n).x for n in left)
+    min_right_x = min(topo.position(n).x for n in right)
+    assert max_left_x < min_right_x
+
+
+def test_grid_partition_single_shard_owns_everything():
+    topo = grid_topology(4, 4)
+    parts = grid_partition(topo, 1)
+    assert parts == [topo.node_ids()]
+
+
+def test_kmeans_clusters_are_spatially_coherent():
+    """Each k-means shard's nodes sit nearer their own centroid than
+    any other shard's — the property that keeps the boundary small."""
+    topo = grid_topology(12, 12, spacing=5.0)
+    parts = kmeans_partition(topo, 4)
+    centroids = [
+        (
+            sum(topo.position(n).x for n in part) / len(part),
+            sum(topo.position(n).y for n in part) / len(part),
+        )
+        for part in parts
+    ]
+
+    def dist2(n, c):
+        pos = topo.position(n)
+        return (pos.x - c[0]) ** 2 + (pos.y - c[1]) ** 2
+
+    # Capacity capping can strand a few nodes with a foreign centroid;
+    # the overwhelming majority must be home.
+    misplaced = sum(
+        1
+        for i, part in enumerate(parts)
+        for n in part
+        if min(range(len(parts)), key=lambda j: dist2(n, centroids[j])) != i
+    )
+    assert misplaced <= len(topo) * 0.1
+
+
+def test_more_shards_than_nodes_is_rejected():
+    topo = grid_topology(2, 2)
+    with pytest.raises(ValueError):
+        partition_nodes(topo, 5, method="grid")
+    with pytest.raises(ValueError):
+        partition_nodes(topo, 5, method="kmeans")
+
+
+def test_zero_shards_is_rejected():
+    with pytest.raises(ValueError):
+        partition_nodes(grid_topology(2, 2), 0, method="grid")
+
+
+def test_unknown_method_is_rejected():
+    with pytest.raises(ValueError, match="unknown partition method"):
+        partition_nodes(grid_topology(2, 2), 2, method="voronoi")

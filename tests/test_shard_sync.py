@@ -1,0 +1,281 @@
+"""Unit tests for the conservative synchronization machinery.
+
+The equivalence suite (tests/test_shard_equivalence.py) proves the
+end-to-end property; these tests pin down the pieces it rests on:
+horizon computation, the promise's lower-bound terms, ghost admission
+filtering, order-independent hashed loss draws, outcome merging, and a
+real :class:`~repro.campaign.workers.WorkerCrew` round trip through
+the worker entry point.
+"""
+
+import math
+
+import pytest
+
+from repro.campaign.workers import WorkerCrew
+from repro.radio import Channel, DistancePropagation, Topology
+from repro.radio.channel import Transmission
+from repro.shard import (
+    ExportedTx,
+    ShardPlan,
+    ShardRuntime,
+    merge_outcomes,
+    next_horizon,
+    run_oracle,
+)
+from repro.sim import Simulator
+from repro.sim.rng import SeedSequence
+
+FLOOD_PLAN = ShardPlan(
+    scenario="flood", params={"columns": 8, "rows": 4},
+    seed=11, duration=5.0, shards=2,
+)
+
+
+def export(src=0, start=1.0, end=1.01):
+    return ExportedTx(
+        src=src, start=start, end=end, nbytes=27,
+        payload=b"x", link_dst=None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# next_horizon
+
+
+class TestNextHorizon:
+    def test_duration_caps_the_horizon(self):
+        assert next_horizon([], [], 0.002, 10.0) == 10.0
+        assert next_horizon([math.inf], [], 0.002, 10.0) == 10.0
+
+    def test_earliest_peer_promise_wins(self):
+        assert next_horizon([3.0, 7.0], [], 0.002, 10.0) == 3.0
+
+    def test_export_term_bounds_unreacted_influence(self):
+        # A transmission ending at t=2.0 can provoke a downstream
+        # transmission anywhere from 2.0 + lookahead on; the horizon
+        # must not pass that point even if every promise is later.
+        h = next_horizon([5.0], [export(end=2.0)], 0.002, 10.0)
+        assert h == pytest.approx(2.002)
+
+    def test_own_promise_is_not_an_argument(self):
+        """The caller passes peer promises only: a shard's own future
+        transmissions are simulated locally and must not throttle its
+        own window (that is the differentiated-horizon design)."""
+        assert next_horizon([], [], 0.002, 10.0) == 10.0
+
+
+# ---------------------------------------------------------------------------
+# ShardRuntime.promise
+
+
+class TestPromise:
+    def test_promise_lower_bounds_the_next_window(self):
+        rt = ShardRuntime(FLOOD_PLAN, rank=0)
+        p = rt.promise()
+        assert rt.sim.now <= p < math.inf
+        # The promise is at least the earliest queued event: nothing
+        # can transmit before it.
+        assert p >= rt.sim.peek_time()
+
+    def test_promise_reflects_frontier_attempts(self):
+        rt = ShardRuntime(FLOOD_PLAN, rank=0)
+        p = rt.promise()
+        earliest_attempt = min(
+            (t for t, _seq, e in rt._attempts
+             if not e.cancelled and e._owner is not None),
+            default=math.inf,
+        )
+        peek = rt.sim.peek_time()
+        expected = min(earliest_attempt, peek + rt.lookahead)
+        assert p == expected
+
+    def test_moves_are_promise_barriers(self):
+        plan = ShardPlan(
+            scenario="mobility", params={"columns": 8, "rows": 4},
+            seed=11, duration=8.0, shards=2,
+        )
+        rt = ShardRuntime(plan, rank=0)
+        assert rt._move_events
+        first_move = rt._move_events[0].time
+        assert rt.promise() <= first_move
+
+    def test_empty_queue_promises_infinity(self):
+        rt = ShardRuntime(FLOOD_PLAN, rank=0)
+        for event in list(rt.sim.pending_events()):
+            event.cancel()
+        rt._move_events.clear()
+        assert rt.promise() == math.inf
+
+    def test_lookahead_is_the_min_mac_gap(self):
+        rt = ShardRuntime(FLOOD_PLAN, rank=0)
+        gaps = [
+            min(mac.interframe_gap, mac.min_backoff)
+            for mac in rt.net.macs.values()
+        ]
+        assert rt.lookahead == min(gaps)
+        assert rt.lookahead > 0
+
+
+# ---------------------------------------------------------------------------
+# Ghost admission
+
+
+class TestInject:
+    def test_audible_export_is_admitted_inaudible_skipped(self):
+        rt = ShardRuntime(FLOOD_PLAN, rank=0)
+        foreign = sorted(
+            set(rt.net.topology.node_ids()) - set(rt.owned)
+        )
+        near = next(
+            n for n in foreign if rt.boundary.listeners_across(n)
+        )
+        far = next(
+            (n for n in foreign if not rt.boundary.listeners_across(n)),
+            None,
+        )
+        t0 = rt.sim.now + 0.5
+        rt.inject([export(src=near, start=t0, end=t0 + 0.01)])
+        assert rt.stats.ghosts_admitted == 1
+        ghosts = [
+            e for e in rt.sim.pending_events()
+            if e.name == "shard.ghost"
+        ]
+        assert len(ghosts) == 1
+        assert ghosts[0].time == t0
+        # Ghosts precede same-instant local traffic.
+        assert ghosts[0].priority == -1
+        if far is not None:
+            rt.inject([export(src=far, start=t0, end=t0 + 0.01)])
+            assert rt.stats.ghosts_admitted == 1
+            assert rt.stats.ghosts_skipped == 1
+
+    def test_single_shard_runtime_ignores_injection(self):
+        plan = ShardPlan(
+            scenario="flood", params={"columns": 8, "rows": 4},
+            seed=11, duration=5.0, shards=1,
+        )
+        rt = ShardRuntime(plan, rank=0)
+        rt.inject([export()])
+        assert rt.stats.ghosts_admitted == 0
+
+
+# ---------------------------------------------------------------------------
+# Hashed loss draws
+
+
+class TestHashedLoss:
+    def make_channel(self, seed=5):
+        topo = Topology()
+        topo.add_node(0, 0.0, 0.0)
+        topo.add_node(1, 10.0, 0.0)
+        sim = Simulator()
+        return Channel(
+            sim, DistancePropagation(topo, seed=seed),
+            seeds=SeedSequence(seed), loss_mode="hashed",
+        )
+
+    def tx(self, src, start):
+        return Transmission(
+            src=src, start=start, end=start + 0.01,
+            payload=b"p", nbytes=27, link_dst=None, seqno=1,
+        )
+
+    def test_draw_depends_only_on_link_and_time(self):
+        """The hashed draw is a pure function of (seed, src, dst,
+        start): two channels draw identical values in any order — the
+        property that makes loss independent of which shard hosts the
+        receiver and of event interleaving."""
+        a = self.make_channel()
+        b = self.make_channel()
+        keys = [(0, 1.0), (1, 1.0), (0, 2.5), (1, 0.125)]
+        draws_a = [a._loss_draw(1 - src, self.tx(src, t)) for src, t in keys]
+        draws_b = [
+            b._loss_draw(1 - src, self.tx(src, t))
+            for src, t in reversed(keys)
+        ]
+        assert draws_a == list(reversed(draws_b))
+
+    def test_different_links_decorrelate(self):
+        ch = self.make_channel()
+        draws = {
+            ch._loss_draw(1, self.tx(0, t))
+            for t in (1.0, 2.0, 3.0, 4.0, 5.0)
+        }
+        assert len(draws) == 5
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_different_seeds_decorrelate(self):
+        a = self.make_channel(seed=5)
+        b = self.make_channel(seed=6)
+        assert a._loss_draw(1, self.tx(0, 1.0)) != b._loss_draw(
+            1, self.tx(0, 1.0)
+        )
+
+
+# ---------------------------------------------------------------------------
+# merge_outcomes
+
+
+class TestMergeOutcomes:
+    def test_numbers_sum_lists_sort_dicts_recurse(self):
+        merged = merge_outcomes([
+            {"sent": 3, "ratio": 0.5, "ok": False,
+             "times": [2.0, 1.0], "sub": {"x": 1}},
+            {"sent": 4, "ratio": 0.25, "ok": True,
+             "times": [1.5], "sub": {"x": 2}},
+        ])
+        assert merged == {
+            "sent": 7, "ratio": 0.75, "ok": True,
+            "times": [1.0, 1.5, 2.0], "sub": {"x": 3},
+        }
+
+    def test_bools_merge_with_any_not_sum(self):
+        merged = merge_outcomes([{"ok": True}, {"ok": True}])
+        assert merged["ok"] is True
+
+    def test_empty_input_merges_to_empty(self):
+        assert merge_outcomes([]) == {}
+
+    def test_unmergeable_type_is_an_error(self):
+        with pytest.raises(TypeError, match="unmergeable"):
+            merge_outcomes([{"k": "a"}, {"k": "b"}])
+
+
+# ---------------------------------------------------------------------------
+# WorkerCrew round trip
+
+
+def _peer_sum_worker(rank, size, peers, base):
+    """Exchange rank stamps all-to-all; every worker returns the same
+    total, proving each pipe carried real data both ways."""
+    total = base + rank
+    for peer_rank, conn in peers.items():
+        conn.send(rank)
+    for peer_rank, conn in peers.items():
+        total += conn.recv()
+    return {"rank": rank, "total": total}
+
+
+class TestWorkerCrew:
+    def test_all_to_all_pipes_carry_data(self):
+        with WorkerCrew(
+            3, "tests.test_shard_sync:_peer_sum_worker"
+        ) as crew:
+            crew.start([100] * 3)
+            results = crew.collect(timeout=60)
+        assert [r["rank"] for r in results] == [0, 1, 2]
+        assert [r["total"] for r in results] == [103, 103, 103]
+
+    def test_shard_worker_main_runs_under_the_crew(self):
+        """The real worker entry point over real pipes equals the
+        oracle (the process-transport equivalence path, one more time
+        at the unit level)."""
+        oracle = run_oracle(FLOOD_PLAN)
+        with WorkerCrew(
+            FLOOD_PLAN.shards, "repro.shard.worker:shard_worker_main"
+        ) as crew:
+            crew.start([FLOOD_PLAN] * FLOOD_PLAN.shards)
+            results = crew.collect(timeout=120)
+        merged = merge_outcomes([r["outcome"] for r in results])
+        assert merged == oracle
