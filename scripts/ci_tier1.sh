@@ -35,6 +35,13 @@ python -m repro.experiments.scalebench --smoke
 # (counters and event times, not wall time).
 python -m repro faults --smoke
 
+# Shard-sync profiler smoke: every conservative window must be
+# attributed to a promise term (shares sum to 100%), window-span
+# histograms must count every round, and real exchange volume must be
+# reported (counters again, not wall time).
+python -m repro trace shards --scenario flood --shards 2 \
+    --columns 8 --rows 4 --duration 5 --smoke
+
 store="$(mktemp -d)"
 trap 'rm -rf "$store"' EXIT
 python -m repro campaign run scale-aggregation --quick --jobs 1 --store "$store"
@@ -55,4 +62,14 @@ grep -q "diffusion.tx" "$store/summary.txt" \
 python -m repro trace paths "$trace" > "$store/paths.txt"
 grep -q "data messages:" "$store/paths.txt" \
     || { echo "trace paths produced no report" >&2; exit 1; }
+
+# Flight-recorder smoke: provoke an invariant violation (a zero-entry
+# gradient-table bound) and require the postmortem dump to hold the
+# causal lead-up — at least 64 trace events behind its header line.
+flight="$store/flight.jsonl"
+python -m repro faults run --fault crash --duration 60 \
+    --demo-violation --flight-recorder "$flight"
+lines="$(wc -l < "$flight")"
+[ "$lines" -ge 65 ] \
+    || { echo "flight recorder dumped only $lines lines" >&2; exit 1; }
 echo "tier-1 OK"

@@ -7,6 +7,7 @@ Subcommands::
     repro trace paths     run.jsonl [--all] [--limit N]
     repro trace timeline  run.jsonl <trace-id>
     repro trace profile   run.jsonl
+    repro trace shards    [--scenario flood] [--shards 4] [--out f.jsonl]
 
 ``record`` runs a small canned scenario (a line network or the ISI
 14-node testbed of Figure 7) with full tracing, the metrics registry,
@@ -212,6 +213,139 @@ def _run_profile(args) -> int:
     return 0
 
 
+def _run_shards(args) -> int:
+    """Run a sharded trial and render the synchronization profile.
+
+    This is the PR-6 black box opened up: which promise term bound each
+    window, how windows were sized, how long each shard stalled at the
+    exchange barrier, and how well the partition balanced the work.
+    """
+    import json
+
+    from repro.shard import ShardPlan, run_sharded
+    from repro.sim import use_registry
+    from repro.sim.trace import _jsonable
+
+    params = {"columns": args.columns, "rows": args.rows}
+    if args.scenario == "regional":
+        params["region"] = max(2, args.columns // 4)
+    plan = ShardPlan(
+        scenario=args.scenario, params=params, seed=args.seed,
+        duration=args.duration, shards=args.shards,
+    )
+    with use_registry() as registry:
+        result = run_sharded(plan, transport=args.transport)
+    shards = result["shards"]
+    profile = result["profile"]
+    n_nodes = sum(s["owned"] for s in shards)
+
+    print(
+        f"sharded run: {args.scenario} {n_nodes} nodes, "
+        f"{plan.shards} shard(s), {args.transport} transport, "
+        f"{plan.duration:g}s simulated"
+    )
+
+    total_windows = profile["windows"]
+    print("\nwindow attribution (which promise term bound each horizon):")
+    print(f"  {'term':<12} {'windows':>8} {'share':>8}")
+    share_sum = 0.0
+    for term, count in sorted(
+        profile["windows_by_term"].items(), key=lambda kv: -kv[1]
+    ):
+        share = 100.0 * count / total_windows if total_windows else 0.0
+        share_sum += share
+        print(f"  {term:<12} {count:>8} {share:>7.1f}%")
+    print(f"  {'total':<12} {total_windows:>8} {share_sum:>7.1f}%")
+
+    print("\nper shard:")
+    print(
+        f"  {'rank':>4} {'owned':>6} {'events':>9} {'windows':>8} "
+        f"{'busy_s':>8} {'stall_s':>8} {'exch_B':>9} {'exports':>8} "
+        f"{'ghosts':>7}"
+    )
+    for s in shards:
+        print(
+            f"  {s['rank']:>4} {s['owned']:>6} {s['events']:>9} "
+            f"{s['rounds']:>8} {s['busy_seconds']:>8.3f} "
+            f"{s['stall_seconds']:>8.3f} {s['exchange_bytes']:>9} "
+            f"{s['exports']:>8} {s['ghosts_admitted']:>7}"
+        )
+
+    print("\nwindow span (simulated seconds) per shard:")
+    print(
+        f"  {'rank':>4} {'count':>8} {'mean':>9} {'p50':>9} {'p95':>9} "
+        f"{'p99':>9} {'max':>9}"
+    )
+    for s, snapshot in zip(shards, result["metrics"]):
+        span = snapshot.get("histograms", {}).get(
+            f"shard.window_span{{shard={s['rank']}}}"
+        )
+        if not span or not span.get("count"):
+            continue
+        print(
+            f"  {s['rank']:>4} {span['count']:>8} {span['mean']:>9.4f} "
+            f"{span['p50']:>9.4f} {span['p95']:>9.4f} "
+            f"{span['p99']:>9.4f} {span['max']:>9.4f}"
+        )
+
+    stall = profile["stall_seconds"]
+    print(
+        f"\nbarrier stall: total {sum(stall):.3f}s, "
+        f"worst shard {max(stall):.3f}s"
+        if stall else "\nbarrier stall: n/a"
+    )
+    print(f"exchange volume: {profile['exchange_bytes']} bytes")
+    print(f"load imbalance (max/mean busy): {profile['imbalance']:.2f}")
+
+    if args.out:
+        # A tracelog-compatible JSONL so `trace summarize` reads it.
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for s in shards:
+                handle.write(json.dumps({
+                    "t": plan.duration, "cat": "shard.stats",
+                    "node": None, "data": _jsonable(s),
+                }) + "\n")
+            handle.write(json.dumps({
+                "t": plan.duration, "cat": "shard.profile",
+                "node": None, "data": _jsonable(profile),
+            }) + "\n")
+            handle.write(json.dumps({
+                "t": plan.duration, "cat": "metrics.snapshot",
+                "node": None, "data": _jsonable(registry.snapshot()),
+            }) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.smoke:
+        failures = []
+        for s in shards:
+            attributed = sum(s["windows_by_term"].values())
+            if attributed != s["rounds"]:
+                failures.append(
+                    f"shard {s['rank']}: {attributed} attributed windows "
+                    f"!= {s['rounds']} rounds"
+                )
+        if abs(share_sum - 100.0) > 1e-6 and total_windows:
+            failures.append(f"attribution shares sum to {share_sum}%")
+        if plan.shards > 1 and profile["exchange_bytes"] <= 0:
+            failures.append("no exchange bytes recorded")
+        for s, snapshot in zip(shards, result["metrics"]):
+            span = snapshot.get("histograms", {}).get(
+                f"shard.window_span{{shard={s['rank']}}}", {}
+            )
+            if span.get("count") != s["rounds"]:
+                failures.append(
+                    f"shard {s['rank']}: span histogram count "
+                    f"{span.get('count')} != rounds {s['rounds']}"
+                )
+        if failures:
+            for failure in failures:
+                print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("\ntrace shards smoke OK: attribution complete, "
+              "distributions populated, exchange measured")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro trace",
@@ -264,6 +398,31 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("trace")
     profile.add_argument("--limit", type=int, default=15)
     profile.set_defaults(func=_run_profile)
+
+    shards = sub.add_parser(
+        "shards", help="run a sharded trial and profile its synchronization"
+    )
+    shards.add_argument(
+        "--scenario", choices=["flood", "mobility", "diffusion", "regional"],
+        default="flood",
+    )
+    shards.add_argument("--shards", type=int, default=4)
+    shards.add_argument(
+        "--transport", choices=["inline", "process"], default="inline",
+    )
+    shards.add_argument("--duration", type=float, default=20.0)
+    shards.add_argument("--columns", type=int, default=15)
+    shards.add_argument("--rows", type=int, default=10)
+    shards.add_argument("--seed", type=int, default=11)
+    shards.add_argument(
+        "--out", help="also write stats/profile/metrics as JSONL here"
+    )
+    shards.add_argument(
+        "--smoke", action="store_true",
+        help="assert attribution sums to the round count per shard "
+        "(CI gate; counters, not wall time)",
+    )
+    shards.set_defaults(func=_run_shards)
 
     return parser
 

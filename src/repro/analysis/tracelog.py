@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.sim import TraceBus, TraceRecord
+from repro.sim.trace import _jsonable, _jsonable_value  # noqa: F401  (re-export)
 
 
 class TraceLogger:
@@ -79,25 +80,6 @@ class TraceLogger:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
-
-
-def _jsonable_value(value):
-    if isinstance(value, bytes):
-        return value.hex()
-    if isinstance(value, (int, float, str, bool)) or value is None:
-        return value
-    if isinstance(value, dict):
-        return {str(k): _jsonable_value(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return [_jsonable_value(v) for v in value]
-    return repr(value)
-
-
-def _jsonable(data: Dict) -> Dict:
-    """JSON-safe copy of a record's data: containers are serialized
-    recursively, bytes become hex, and only genuinely opaque objects
-    fall back to ``repr``."""
-    return {str(key): _jsonable_value(value) for key, value in data.items()}
 
 
 def load_trace(path: Union[str, Path]) -> List[TraceRecord]:

@@ -71,6 +71,7 @@ def bench_row(
                 f"transport={transport}"
             )
     stats = result["shards"]
+    profile = result["profile"]
     busy = [s["busy_seconds"] for s in stats]
     row = {
         "scenario": plan.scenario,
@@ -84,6 +85,13 @@ def bench_row(
         "rounds": max(s["rounds"] for s in stats),
         "exports": sum(s["exports"] for s in stats),
         "ghosts_admitted": sum(s["ghosts_admitted"] for s in stats),
+        # Shard-sync profile: which promise term bound the windows,
+        # how long shards idled at the barrier, what the exchange cost,
+        # and how balanced the partition's work was.
+        "windows_by_term": profile["windows_by_term"],
+        "stall_seconds": [round(s, 3) for s in profile["stall_seconds"]],
+        "exchange_bytes": profile["exchange_bytes"],
+        "load_imbalance": round(profile["imbalance"], 3),
         "outcome": _outcome_scalar(result["outcome"]),
         "outcome_matches_oracle": (
             result["outcome"] == oracle_outcome

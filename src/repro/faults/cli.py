@@ -64,12 +64,30 @@ def _cmd_run(args) -> int:
         exploratory_interval=args.exploratory_interval,
         duration=args.duration,
         plan=plan,
+        flight_recorder=args.flight_recorder,
+        monitor_max_entries=(
+            0 if args.demo_violation else 32
+        ),
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(result, handle, indent=2)
         print(f"wrote {args.out}")
     print(format_resilience_report(result))
+    info = result.get("flight_recorder")
+    if info is not None:
+        print(
+            f"flight recorder: {info['records']} of {info['records_seen']} "
+            f"events dumped to {info['path']}"
+        )
+    if args.demo_violation:
+        # The point of the demo is the postmortem itself: succeed iff a
+        # violation fired AND its causal lead-up was captured.
+        captured = not result["invariants_ok"] and (
+            args.flight_recorder is None
+            or (info is not None and info["records"] > 0)
+        )
+        return 0 if captured else 1
     return 0 if result["invariants_ok"] else 1
 
 
@@ -176,6 +194,18 @@ def main(argv=None) -> int:
     run.add_argument("--duration", type=float, default=160.0)
     run.add_argument("--exploratory-interval", type=float, default=8.0)
     run.add_argument("--out", help="write the full result JSON here")
+    run.add_argument(
+        "--flight-recorder", metavar="PATH",
+        help="ride a flight recorder on the trace bus and dump its rings "
+        "to PATH (JSONL) on the first invariant violation, or at end of "
+        "run if none fires",
+    )
+    run.add_argument(
+        "--demo-violation", action="store_true",
+        help="tighten the gradient-bound invariant to zero entries so a "
+        "violation fires immediately; exit 0 iff the violation was "
+        "captured (with --flight-recorder: and its lead-up dumped)",
+    )
 
     rep = sub.add_parser("report", help="render a saved result JSON")
     rep.add_argument("result")

@@ -35,10 +35,11 @@ reboot-coherence
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.sim.metrics import current_registry
-from repro.sim.trace import TraceRecord
+from repro.sim.trace import FlightRecorder, TraceRecord
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,14 @@ class MonitorSuite:
     synchronously on bus events; state-driven checks (gradient bounds,
     reinforcement uniqueness) run every ``probe_interval`` seconds and
     once more at :meth:`detach`.
+
+    Pass a :class:`~repro.sim.trace.FlightRecorder` (plus a
+    ``dump_path``) to get a postmortem on the *first* violation: the
+    recorder's rings — the most recent trace events per node, all of
+    which causally precede the violation since recording and checking
+    are synchronous on the same bus — are dumped to JSONL before the
+    run continues, so the lead-up survives even if the process dies
+    later.
     """
 
     #: retain at most this many (node, trace) hop records for loop
@@ -90,8 +99,13 @@ class MonitorSuite:
         probe_interval: float = 5.0,
         max_entries: int = 32,
         max_hops: Optional[int] = None,
+        recorder: Optional[FlightRecorder] = None,
+        dump_path: Optional[Union[str, Path]] = None,
     ) -> None:
         self.network = network
+        self.recorder = recorder
+        self.dump_path = Path(dump_path) if dump_path is not None else None
+        self.dumped: Optional[int] = None   # records written, once dumped
         self.max_entries = max_entries
         self.max_hops = (
             max_hops if max_hops is not None else 2 * len(network.node_ids())
@@ -125,6 +139,19 @@ class MonitorSuite:
         )
         self.violations.append(violation)
         self._m_violations.inc()
+        if (
+            self.recorder is not None
+            and self.dump_path is not None
+            and self.dumped is None
+        ):
+            # First violation: freeze the causal lead-up to disk now,
+            # while the rings still end exactly at the breach.
+            self.dumped = self.recorder.dump(
+                self.dump_path,
+                reason="invariant-violation",
+                violation=violation.describe(),
+                invariant=invariant,
+            )
 
     # -- trace-driven invariants ----------------------------------------------
 

@@ -134,14 +134,26 @@ def resilience_run(
     duration: float = 160.0,
     plan: Optional[FaultPlan] = None,
     data_period: float = 1.0,
+    flight_recorder: Optional[str] = None,
+    monitor_max_entries: int = 32,
 ) -> dict:
-    """One fault on the standard grid; returns the JSON-safe verdict."""
+    """One fault on the standard grid; returns the JSON-safe verdict.
+
+    With ``flight_recorder`` set to a path, a
+    :class:`~repro.sim.trace.FlightRecorder` rides the trace bus and the
+    monitors dump its rings there on the first invariant violation (or,
+    if the run stays clean, at the end — a postmortem of a healthy run
+    is still a trace worth keeping).  ``monitor_max_entries`` is the
+    gradient-bound threshold, exposed so demos/tests can tighten it to
+    provoke a violation on an otherwise healthy run.
+    """
     # msg ids draw from a process-global counter; restart it so paired
     # runs are bit-identical, not merely equivalent (channelbench does
     # the same for its reference/indexed comparisons).
     core_messages._msg_counter = itertools.count(1)
     from repro.naming import AttributeVector
     from repro.naming.keys import Key
+    from repro.sim.trace import FlightRecorder
 
     network = SensorNetwork(
         Topology.grid(GRID_COLUMNS, GRID_ROWS, spacing=GRID_SPACING),
@@ -150,7 +162,15 @@ def resilience_run(
     )
     active_plan = plan if plan is not None else builtin_plan(fault)
     engine = FaultEngine(network, active_plan)
-    monitors = MonitorSuite(network)
+    recorder = (
+        FlightRecorder(network.trace) if flight_recorder is not None else None
+    )
+    monitors = MonitorSuite(
+        network,
+        max_entries=monitor_max_entries,
+        recorder=recorder,
+        dump_path=flight_recorder,
+    )
     probe = ResilienceProbe(network, SINK, sources=[SOURCE])
 
     delivered: List[float] = []
@@ -177,7 +197,7 @@ def resilience_run(
     probe.record_metrics()
     probe.detach()
     report = probe.report(engine.timeline, exploratory_interval, duration)
-    return {
+    result = {
         "fault": fault if plan is None else "custom",
         "seed": seed,
         "exploratory_interval": exploratory_interval,
@@ -188,6 +208,20 @@ def resilience_run(
         "violations": [v.describe() for v in monitors.violations],
         "invariants_ok": monitors.ok,
     }
+    if recorder is not None:
+        recorder.detach()
+        if monitors.dumped is None:
+            # Clean run: dump the tail anyway so the requested
+            # postmortem file always exists.
+            monitors.dumped = recorder.dump(
+                flight_recorder, reason="end-of-run"
+            )
+        result["flight_recorder"] = {
+            "path": str(flight_recorder),
+            "records": monitors.dumped,
+            "records_seen": recorder.records_seen,
+        }
+    return result
 
 
 def clock_skew_run(

@@ -25,13 +25,20 @@ from repro.shard.partition import (
     kmeans_partition,
     partition_nodes,
 )
-from repro.shard.runner import merge_outcomes, run_oracle, run_sharded
+from repro.shard.runner import (
+    merge_outcomes,
+    run_oracle,
+    run_sharded,
+    sync_profile,
+)
 from repro.shard.scenario import SCENARIOS, Scenario, ShardNet, get_scenario
 from repro.shard.worker import (
     ExportedTx,
     ShardPlan,
     ShardRuntime,
+    ShardStats,
     next_horizon,
+    next_horizon_ex,
     shard_worker_main,
 )
 
@@ -42,13 +49,16 @@ __all__ = [
     "ShardNet",
     "ShardPlan",
     "ShardRuntime",
+    "ShardStats",
     "get_scenario",
     "grid_partition",
     "kmeans_partition",
     "merge_outcomes",
     "next_horizon",
+    "next_horizon_ex",
     "partition_nodes",
     "run_oracle",
     "run_sharded",
     "shard_worker_main",
+    "sync_profile",
 ]

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import itertools
 import math
+import pickle
+import time
 from typing import Any, Dict, List, Optional
 
 import repro.core.messages as core_messages
@@ -34,10 +36,10 @@ from repro.shard.worker import (
     ExportedTx,
     ShardPlan,
     ShardRuntime,
-    next_horizon,
+    next_horizon_ex,
     shard_worker_main,
 )
-from repro.sim.metrics import MetricsRegistry, use_registry
+from repro.sim.metrics import MetricsRegistry, current_registry, use_registry
 
 
 def merge_outcomes(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -96,7 +98,14 @@ def run_sharded(
     """Execute ``plan`` across ``plan.shards`` shards.
 
     Returns ``{"outcome": merged outcome, "shards": [per-shard stats],
-    "metrics": [per-shard metric snapshots]}``.
+    "metrics": [per-shard metric snapshots], "profile": sync profile}``.
+
+    Every per-shard metric snapshot is also folded into the *caller's*
+    active registry via :meth:`~repro.sim.metrics.MetricsRegistry.merge`
+    (a no-op under the null registry), so process-transport runs no
+    longer lose shard-worker metrics: ``use_registry()`` around a
+    sharded run sees ``shard.*`` instruments exactly as an inline run
+    would.
     """
     if transport == "inline":
         results = _run_inline(plan)
@@ -104,10 +113,38 @@ def run_sharded(
         results = _run_process(plan, timeout=timeout)
     else:
         raise ValueError(f"unknown transport {transport!r}")
+    parent = current_registry()
+    for r in results:
+        parent.merge(r["metrics"])
     return {
         "outcome": merge_outcomes([r["outcome"] for r in results]),
         "shards": [r["stats"] for r in results],
         "metrics": [r["metrics"] for r in results],
+        "profile": sync_profile([r["stats"] for r in results]),
+    }
+
+
+def sync_profile(stats: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-shard stats dicts into one synchronization profile.
+
+    ``windows_by_term`` sums across shards (so term shares over the
+    total are the network-wide attribution), stall and exchange totals
+    aggregate, and ``imbalance`` is max/mean of per-shard busy seconds
+    — 1.0 is a perfectly balanced partition, K is one shard doing all
+    the work of K.
+    """
+    windows_by_term: Dict[str, int] = {}
+    for s in stats:
+        for term, count in s.get("windows_by_term", {}).items():
+            windows_by_term[term] = windows_by_term.get(term, 0) + count
+    busy = [s.get("busy_seconds", 0.0) for s in stats]
+    mean_busy = sum(busy) / len(busy) if busy else 0.0
+    return {
+        "windows": sum(windows_by_term.values()),
+        "windows_by_term": dict(sorted(windows_by_term.items())),
+        "stall_seconds": [s.get("stall_seconds", 0.0) for s in stats],
+        "exchange_bytes": sum(s.get("exchange_bytes", 0) for s in stats),
+        "imbalance": (max(busy) / mean_busy) if mean_busy > 0 else 1.0,
     }
 
 
@@ -143,7 +180,7 @@ def _run_inline(plan: ShardPlan) -> List[Dict[str, Any]]:
         # before this round's ghosts are injected; the export term of
         # next_horizon() compensates.
         promises = [
-            math.inf if finalized[i] else rt.promise()
+            (math.inf, "idle") if finalized[i] else rt.promise_ex()
             for i, rt in enumerate(runtimes)
         ]
         all_exports = [rec for outbox in outboxes for rec in outbox]
@@ -151,6 +188,16 @@ def _run_inline(plan: ShardPlan) -> List[Dict[str, Any]]:
         for i, rt in enumerate(runtimes):
             if finalized[i]:
                 continue
+            # What the process transport would have shipped this round;
+            # measured (outside the busy timers) so inline runs report
+            # comparable exchange volume.
+            rt.stats.exchange_bytes += len(
+                pickle.dumps(
+                    (promises[i][0], promises[i][1], outboxes[i],
+                     finalized[i]),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            ) * (len(runtimes) - 1)
             rt.inject(
                 rec
                 for j, outbox in enumerate(outboxes)
@@ -158,21 +205,32 @@ def _run_inline(plan: ShardPlan) -> List[Dict[str, Any]]:
                 for rec in outbox
             )
         next_outboxes: List[List[ExportedTx]] = [[] for _ in runtimes]
+        window_walls = [0.0] * len(runtimes)
         for i, rt in enumerate(runtimes):
             if finalized[i]:
                 continue
-            horizon = next_horizon(
+            horizon, bound_term = next_horizon_ex(
                 (p for j, p in enumerate(promises) if j != i),
                 all_exports, rt.lookahead, duration,
             )
+            window_started = time.perf_counter()
             if horizon >= duration:
                 next_outboxes[i], finalized[i] = rt.advance(
-                    duration, inclusive=True, final=True
+                    duration, inclusive=True, final=True, term=bound_term
                 )
             else:
                 next_outboxes[i], _reached = rt.advance(
-                    horizon, inclusive=promises[i] <= horizon
+                    horizon, inclusive=promises[i][0] <= horizon,
+                    term=bound_term,
                 )
+            window_walls[i] = time.perf_counter() - window_started
+        # Inline shards run serially, so barrier stall is *counter-
+        # factual*: had the round run in parallel, each shard would
+        # have waited for the round's slowest window.
+        slowest = max(window_walls)
+        for i, rt in enumerate(runtimes):
+            if window_walls[i] > 0.0:
+                rt.stats.stall_seconds += slowest - window_walls[i]
         outboxes = next_outboxes
         if (
             sum(rt.stats.events for rt in runtimes) == events_before
@@ -196,4 +254,5 @@ __all__ = [
     "run_oracle",
     "run_sharded",
     "shard_worker_main",
+    "sync_profile",
 ]

@@ -59,7 +59,7 @@ import itertools
 import math
 import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import repro.core.messages as core_messages
@@ -123,9 +123,21 @@ class ShardStats:
     #: per-shard work measure even on an oversubscribed host.
     cpu_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: wall-clock seconds this shard spent waiting at the exchange
+    #: barrier for slower peers (process mode: blocked in recv; inline
+    #: mode: the round's slowest window minus this shard's own).
+    stall_seconds: float = 0.0
+    #: bytes of pickled promise/outbox payload sent to peers.
+    exchange_bytes: int = 0
+    #: window count by the promise term that bound each horizon —
+    #: which of the conservative-sync bounds actually paces this shard
+    #: ("attempt", "move", "lookahead", "export", "duration", "idle").
+    windows_by_term: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
-        return dict(vars(self))
+        data = dict(vars(self))
+        data["windows_by_term"] = dict(self.windows_by_term)
+        return data
 
 
 class ShardRuntime:
@@ -150,9 +162,20 @@ class ShardRuntime:
         self.channel = self.net.channel
         self.stats = ShardStats(rank=rank, owned=len(self.owned))
         registry = current_registry()
+        self._registry = registry
         self._m_rounds = registry.counter("shard.rounds", shard=rank)
         self._m_exports = registry.counter("shard.exports", shard=rank)
         self._m_ghosts = registry.counter("shard.ghosts_admitted", shard=rank)
+        # Profiler instruments: window spans/sizes as distributions (the
+        # p95 window span is what tells you whether sync overhead comes
+        # from many tiny windows or a few stalls), plus per-term window
+        # counts labeled so cross-shard merges keep shards separable.
+        self._m_window_span = registry.histogram("shard.window_span", shard=rank)
+        self._m_window_events = registry.histogram(
+            "shard.window_events", shard=rank
+        )
+        self._m_stall = registry.gauge("shard.stall_seconds", shard=rank)
+        self._m_exchange = registry.counter("shard.exchange_bytes", shard=rank)
 
         # The MAC timing contract the promise terms rest on.
         lookaheads = []
@@ -263,6 +286,17 @@ class ShardRuntime:
 
     def promise(self) -> float:
         """Earliest time this shard could start a boundary transmission."""
+        return self.promise_ex()[0]
+
+    def promise_ex(self) -> Tuple[float, str]:
+        """The promise plus which term produced it.
+
+        The term names the bound that is actually pacing this shard's
+        peers: ``"attempt"`` (a queued frontier attempt event),
+        ``"move"`` (the next topology-move barrier), ``"lookahead"``
+        (earliest queued event of any kind plus the MAC lookahead), or
+        ``"idle"`` (empty queue — the promise is infinite).
+        """
         attempts = self._attempts
         while attempts:
             _t, _seq, event = attempts[0]
@@ -279,7 +313,16 @@ class ShardRuntime:
         t_move = moves[0].time if moves else math.inf
         peek = self.sim.peek_time()
         t_other = peek + self.lookahead if peek is not None else math.inf
-        return min(t_attempt, t_move, t_other)
+        value = min(t_attempt, t_move, t_other)
+        if value is math.inf:
+            return value, "idle"
+        # Tie-break in specificity order: a frontier attempt is a
+        # sharper statement than the generic lookahead bound.
+        if value == t_attempt:
+            return value, "attempt"
+        if value == t_move:
+            return value, "move"
+        return value, "lookahead"
 
     def inject(self, records: Iterable[ExportedTx]) -> None:
         """Schedule foreign transmissions as ghost admissions."""
@@ -301,7 +344,11 @@ class ShardRuntime:
             self._m_ghosts.inc()
 
     def advance(
-        self, horizon: float, inclusive: bool, final: bool = False
+        self,
+        horizon: float,
+        inclusive: bool,
+        final: bool = False,
+        term: str = "peer",
     ) -> Tuple[List[ExportedTx], bool]:
         """Run one window.
 
@@ -310,7 +357,12 @@ class ShardRuntime:
         (False when the boomerang cap in :meth:`_on_transmission` ended
         it early; a final window that was cut short has NOT finished
         the run and the caller must keep exchanging).
+
+        ``term`` names the promise term that bound ``horizon`` (from
+        :func:`next_horizon_ex`); the profiler attributes the window to
+        it so a report can say *why* windows were the size they were.
         """
+        span = max(0.0, horizon - self.sim.now)
         window_start = time.perf_counter()
         self._window_horizon = horizon
         self._window_truncated = False
@@ -322,7 +374,15 @@ class ShardRuntime:
         self.stats.busy_seconds += time.perf_counter() - window_start
         self.stats.rounds += 1
         self.stats.events += processed
+        self.stats.windows_by_term[term] = (
+            self.stats.windows_by_term.get(term, 0) + 1
+        )
         self._m_rounds.inc()
+        self._m_window_span.observe(span)
+        self._m_window_events.observe(processed)
+        self._registry.counter(
+            "shard.windows", shard=self.rank, term=term
+        ).inc()
         self._refresh_boundary()
         outbox = self._outbox
         self._outbox = []
@@ -335,6 +395,8 @@ class ShardRuntime:
         if self.boundary is not None:
             self.stats.boundary_rebuilds = self.boundary.rebuilds
             self.stats.boundary_pair_checks = self.boundary.pair_checks
+        self._m_stall.set(self.stats.stall_seconds)
+        self._m_exchange.inc(self.stats.exchange_bytes)
         return {
             "outcome": self.net.outcome(),
             "stats": self.stats.as_dict(),
@@ -361,15 +423,41 @@ def next_horizon(
     ghosts were injected anywhere, and a ghost cannot trigger a
     downstream transmission before its airtime ends plus one lookahead.
     """
+    horizon, _term = next_horizon_ex(
+        ((p, "peer") for p in peer_promises), exports, lookahead, duration
+    )
+    return horizon
+
+
+def next_horizon_ex(
+    peer_promises: Iterable[Tuple[float, str]],
+    exports: Iterable[ExportedTx],
+    lookahead: float,
+    duration: float,
+) -> Tuple[float, str]:
+    """:func:`next_horizon` plus *which term bound it*.
+
+    ``peer_promises`` carries ``(value, term)`` pairs as produced by
+    :meth:`ShardRuntime.promise_ex`, so when a peer's promise wins, the
+    attribution names the peer's own binding term ("attempt", "move",
+    "lookahead") rather than an opaque "peer".  The two extra outcomes
+    are ``"export"`` (an in-flight boundary transmission bounds the
+    window) and ``"duration"`` (nothing constrains the shard before the
+    end of the trial — the free-running case).  Ties resolve toward
+    the earlier-listed constraint, matching min() semantics.
+    """
     horizon = duration
-    for p in peer_promises:
+    term = "duration"
+    for p, p_term in peer_promises:
         if p < horizon:
             horizon = p
+            term = p_term
     for rec in exports:
         bound = rec.end + lookahead
         if bound < horizon:
             horizon = bound
-    return horizon
+            term = "export"
+    return horizon, term
 
 
 def shard_worker_main(rank, size, peers, plan: ShardPlan):
@@ -398,30 +486,36 @@ def shard_worker_main(rank, size, peers, plan: ShardPlan):
         stalled = 0
         last_horizon = -math.inf
         while True:
-            promise = math.inf if finalized else runtime.promise()
-            my_exports = pending
-            received = _exchange_all(
-                rank, peers, (promise, pending, finalized)
+            promise, my_term = (
+                (math.inf, "idle") if finalized else runtime.promise_ex()
             )
+            my_exports = pending
+            received, recv_wait, sent_bytes = _exchange_all(
+                rank, peers, (promise, my_term, pending, finalized)
+            )
+            # Time blocked in recv is time spent waiting for slower
+            # peers — the barrier-stall share of this shard's wall.
+            runtime.stats.stall_seconds += recv_wait
+            runtime.stats.exchange_bytes += sent_bytes
             pending = []
-            for peer_rank, (_p, _outbox, done) in received.items():
+            for peer_rank, (_p, _t, _outbox, done) in received.items():
                 peers_done[peer_rank] = peers_done[peer_rank] or done
             if finalized:
                 if all(peers_done.values()):
                     break
                 continue
             all_exports = list(my_exports)
-            for _p, outbox, _done in received.values():
+            for _p, _t, outbox, _done in received.values():
                 all_exports.extend(outbox)
             for peer_rank in peer_order:
-                runtime.inject(received[peer_rank][1])
-            horizon = next_horizon(
-                (received[r][0] for r in peer_order),
+                runtime.inject(received[peer_rank][2])
+            horizon, bound_term = next_horizon_ex(
+                ((received[r][0], received[r][1]) for r in peer_order),
                 all_exports, runtime.lookahead, duration,
             )
             if horizon >= duration:
                 pending, finalized = runtime.advance(
-                    duration, inclusive=True, final=True
+                    duration, inclusive=True, final=True, term=bound_term
                 )
                 continue
             if horizon == last_horizon and not all_exports:
@@ -435,7 +529,7 @@ def shard_worker_main(rank, size, peers, plan: ShardPlan):
                 stalled = 0
             last_horizon = horizon
             pending, _reached = runtime.advance(
-                horizon, inclusive=promise <= horizon
+                horizon, inclusive=promise <= horizon, term=bound_term
             )
         runtime.stats.cpu_seconds = time.process_time() - cpu_start
         runtime.stats.wall_seconds = time.perf_counter() - wall_start
@@ -458,24 +552,38 @@ def _exchange_all(rank, peers, payload):
     one wakeup.  Oversized blobs fall back to pairwise rendezvous in
     ascending rank order with the lower rank sending first, which
     cannot cycle even when a send blocks on a full pipe.
+
+    Returns ``(received, recv_wait_seconds, bytes_sent)``: the per-peer
+    payloads, the wall-clock spent blocked in ``recv`` (the shard-sync
+    profiler's barrier-stall measure — everything this worker computed
+    was already done when the waiting started), and the total pickled
+    bytes shipped to peers.
     """
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     received = {}
     order = sorted(peers)
+    recv_wait = 0.0
     if len(blob) <= _EAGER_SEND_LIMIT:
         for peer_rank in order:
             peers[peer_rank].send_bytes(blob)
         for peer_rank in order:
-            received[peer_rank] = pickle.loads(
-                peers[peer_rank].recv_bytes()
-            )
+            waited = time.perf_counter()
+            raw = peers[peer_rank].recv_bytes()
+            recv_wait += time.perf_counter() - waited
+            received[peer_rank] = pickle.loads(raw)
     else:
         for peer_rank in order:
             conn = peers[peer_rank]
             if rank < peer_rank:
                 conn.send_bytes(blob)
-                received[peer_rank] = pickle.loads(conn.recv_bytes())
+                waited = time.perf_counter()
+                raw = conn.recv_bytes()
+                recv_wait += time.perf_counter() - waited
+                received[peer_rank] = pickle.loads(raw)
             else:
-                received[peer_rank] = pickle.loads(conn.recv_bytes())
+                waited = time.perf_counter()
+                raw = conn.recv_bytes()
+                recv_wait += time.perf_counter() - waited
+                received[peer_rank] = pickle.loads(raw)
                 conn.send_bytes(blob)
-    return received
+    return received, recv_wait, len(blob) * len(order)

@@ -10,11 +10,19 @@ from repro.sim.kernel import Event, KernelProfiler, Simulator, SimulationError
 from repro.sim.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
+    TelemetrySampler,
+    TimeSeries,
     current_registry,
     use_registry,
 )
 from repro.sim.rng import SeedSequence, derive_seed, make_rng
-from repro.sim.trace import TraceBus, TraceCollector, TraceRecord, trace_id_of
+from repro.sim.trace import (
+    FlightRecorder,
+    TraceBus,
+    TraceCollector,
+    TraceRecord,
+    trace_id_of,
+)
 
 __all__ = [
     "Event",
@@ -26,8 +34,11 @@ __all__ = [
     "make_rng",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "TelemetrySampler",
+    "TimeSeries",
     "current_registry",
     "use_registry",
+    "FlightRecorder",
     "TraceBus",
     "TraceCollector",
     "TraceRecord",

@@ -1,10 +1,14 @@
-"""Metrics registry: counters, gauges, and streaming histograms.
+"""Metrics registry: counters, gauges, histograms, and time series.
 
 The paper's testbed could only answer "what happened" questions by
 grepping logs collected over a second wired network (Section 7).  The
 trace bus answers *event*-shaped questions; this module answers
 *aggregate*-shaped ones: how many fragments collided, how deep did MAC
-queues get, how many messages were dropped for want of a route.
+queues get, how many messages were dropped for want of a route — and,
+since the telemetry PR, *curve*-shaped ones: how those aggregates moved
+over simulated time (:class:`TimeSeries` + :class:`TelemetrySampler`)
+and where the tail of a distribution sits (:class:`Histogram` streaming
+p50/p95/p99).
 
 Design rules, mirroring :meth:`TraceBus.emit`:
 
@@ -19,12 +23,18 @@ Design rules, mirroring :meth:`TraceBus.emit`:
   returns nested dicts of numbers, which is what lets campaign trials
   carry structured metrics instead of ad-hoc result keys
   (:mod:`repro.campaign.pool` attaches one per executed trial).
+* **No randomness, no wall clock.**  Every estimator here is a pure
+  function of the observed sequence (the quantile sketch is the P²
+  algorithm, not a sampling reservoir), so enabling telemetry never
+  perturbs a seeded simulation — the equivalence suites hold
+  bit-identical with a registry installed.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 
 def _flat_name(name: str, labels: Dict[str, Any]) -> str:
@@ -48,32 +58,131 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (current queue depth, pending events)."""
+    """A point-in-time value plus its observed extrema.
 
-    __slots__ = ("value",)
+    ``value`` is the last :meth:`set`; ``min``/``max`` track the
+    envelope so a snapshot can report *peak* queue depth or *lowest*
+    battery level, not just wherever the needle happened to rest when
+    the run ended.
+    """
+
+    __slots__ = ("value", "min", "max")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
 
     def set(self, value: float) -> None:
         self.value = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+
+class _P2Quantile:
+    """One streaming quantile via the P² algorithm (Jain & Chlamtac).
+
+    Five markers adjust toward the target quantile with O(1) memory and
+    a handful of float ops per observation — and, critically for the
+    seeded equivalence suites, no randomness: the estimate is a pure
+    function of the observed sequence.
+    """
+
+    __slots__ = ("p", "_q", "_n", "_count")
+
+    def __init__(self, p: float) -> None:
+        self.p = p
+        self._q: List[float] = []   # marker heights
+        self._n: List[float] = []   # marker positions (1-based)
+        self._count = 0
+
+    def observe(self, x: float) -> None:
+        self._count += 1
+        if self._count <= 5:
+            self._q.append(x)
+            if self._count == 5:
+                self._q.sort()
+                self._n = [1.0, 2.0, 3.0, 4.0, 5.0]
+            return
+        q, n, p = self._q, self._n, self.p
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        count = self._count
+        desired = (
+            1.0,
+            1.0 + (count - 1) * p / 2.0,
+            1.0 + (count - 1) * p,
+            1.0 + (count - 1) * (1.0 + p) / 2.0,
+            float(count),
+        )
+        for i in (1, 2, 3):
+            delta = desired[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                d = 1.0 if delta > 0 else -1.0
+                # Piecewise-parabolic prediction of the marker height.
+                candidate = q[i] + d / (n[i + 1] - n[i - 1]) * (
+                    (n[i] - n[i - 1] + d)
+                    * (q[i + 1] - q[i])
+                    / (n[i + 1] - n[i])
+                    + (n[i + 1] - n[i] - d)
+                    * (q[i] - q[i - 1])
+                    / (n[i] - n[i - 1])
+                )
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:  # parabola left the bracket: fall back to linear
+                    j = i + (1 if d > 0 else -1)
+                    q[i] = q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+                n[i] += d
+
+    @property
+    def value(self) -> Optional[float]:
+        if self._count == 0:
+            return None
+        if self._count < 5:
+            ordered = sorted(self._q)
+            # Nearest-rank on the few samples we have.
+            rank = max(0, min(len(ordered) - 1, int(self.p * len(ordered))))
+            return ordered[rank]
+        return self._q[2]
+
+
+#: the streaming quantiles every histogram tracks.
+QUANTILES: Tuple[float, ...] = (0.50, 0.95, 0.99)
 
 
 class Histogram:
-    """Streaming distribution summary: count/sum/min/max (no samples).
+    """Streaming distribution summary: moments plus P² tail quantiles.
 
-    Keeping only moments makes ``observe`` O(1) and the snapshot a
-    fixed-size dict, which matters when one histogram sees every MAC
-    enqueue of a long run.
+    Keeping only moments and five-marker quantile sketches makes
+    ``observe`` O(1) and the snapshot a fixed-size dict, which matters
+    when one histogram sees every MAC enqueue of a long run.  The
+    quantiles (p50/p95/p99) are what the latency-shaped questions need
+    — a mean hides exactly the tail the gateway work cares about.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_quantiles")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._quantiles = tuple(_P2Quantile(p) for p in QUANTILES)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -82,10 +191,68 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        for sketch in self._quantiles:
+            sketch.observe(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, p: float) -> Optional[float]:
+        """The streaming estimate for one of :data:`QUANTILES`."""
+        for sketch in self._quantiles:
+            if sketch.p == p:
+                return sketch.value
+        raise ValueError(f"no sketch tracks p={p} (have {QUANTILES})")
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self._quantiles[0].value
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self._quantiles[1].value
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self._quantiles[2].value
+
+
+class TimeSeries:
+    """A bounded ring of (sim time, value) samples — a curve, not a total.
+
+    The ring holds the *most recent* ``capacity`` samples, so long runs
+    keep a sliding window of recent history at fixed memory, exactly
+    like the flight recorder does for trace events.
+    """
+
+    __slots__ = ("capacity", "recorded", "_ring")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("TimeSeries capacity must be >= 1")
+        self.capacity = capacity
+        self.recorded = 0          # total ever recorded, beyond the ring
+        self._ring: deque = deque(maxlen=capacity)
+
+    def record(self, time: float, value: float) -> None:
+        self.recorded += 1
+        self._ring.append((time, value))
+
+    def samples(self) -> List[Tuple[float, float]]:
+        """The retained samples, oldest first."""
+        return list(self._ring)
+
+    @property
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self._ring[-1] if self._ring else None
+
+    def extend(self, samples: List[Tuple[float, float]]) -> None:
+        """Fold foreign samples in, keeping time order and the bound
+        (used when per-shard snapshots merge into a parent registry)."""
+        merged = sorted(list(self._ring) + [tuple(s) for s in samples])
+        self.recorded += len(samples)
+        self._ring = deque(merged[-self.capacity:], maxlen=self.capacity)
 
 
 class _NullInstrument:
@@ -98,6 +265,12 @@ class _NullInstrument:
     mean = 0.0
     min = None
     max = None
+    p50 = None
+    p95 = None
+    p99 = None
+    capacity = 0
+    recorded = 0
+    last = None
 
     def inc(self, amount: int = 1) -> None:
         pass
@@ -106,6 +279,15 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def record(self, time: float, value: float) -> None:
+        pass
+
+    def samples(self) -> List[Tuple[float, float]]:
+        return []
+
+    def extend(self, samples: List[Tuple[float, float]]) -> None:
         pass
 
 
@@ -120,13 +302,19 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._timeseries: Dict[str, TimeSeries] = {}
 
     def __bool__(self) -> bool:
         return self.enabled
 
     @property
     def empty(self) -> bool:
-        return not (self._counters or self._gauges or self._histograms)
+        return not (
+            self._counters
+            or self._gauges
+            or self._histograms
+            or self._timeseries
+        )
 
     def counter(self, name: str, **labels: Any) -> Counter:
         if not self.enabled:
@@ -143,6 +331,15 @@ class MetricsRegistry:
             return _NULL_INSTRUMENT  # type: ignore[return-value]
         return self._histograms.setdefault(_flat_name(name, labels), Histogram())
 
+    def timeseries(
+        self, name: str, capacity: int = 256, **labels: Any
+    ) -> TimeSeries:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._timeseries.setdefault(
+            _flat_name(name, labels), TimeSeries(capacity)
+        )
+
     def snapshot(self) -> Dict[str, Any]:
         """All instrument values as plain JSON-safe nested dicts."""
         return {
@@ -151,7 +348,12 @@ class MetricsRegistry:
                 for name, counter in sorted(self._counters.items())
             },
             "gauges": {
-                name: gauge.value for name, gauge in sorted(self._gauges.items())
+                name: {
+                    "value": gauge.value,
+                    "min": gauge.min,
+                    "max": gauge.max,
+                }
+                for name, gauge in sorted(self._gauges.items())
             },
             "histograms": {
                 name: {
@@ -160,10 +362,111 @@ class MetricsRegistry:
                     "mean": hist.mean,
                     "min": hist.min,
                     "max": hist.max,
+                    "p50": hist.p50,
+                    "p95": hist.p95,
+                    "p99": hist.p99,
                 }
                 for name, hist in sorted(self._histograms.items())
             },
+            "timeseries": {
+                name: {
+                    "capacity": series.capacity,
+                    "recorded": series.recorded,
+                    "samples": [[t, v] for t, v in series.samples()],
+                }
+                for name, series in sorted(self._timeseries.items())
+            },
         }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict from another registry into this
+        one — the bridge that carries shard-worker metrics back into the
+        parent process (process-transport runs used to lose them all).
+
+        Semantics per instrument kind:
+
+        * counters add;
+        * gauges keep the incoming last value (a later snapshot is a
+          later observation) and fold the min/max envelopes;
+        * histograms add counts and sums, fold extrema, and combine
+          quantile estimates as a count-weighted mean — approximate,
+          since P² sketches cannot be merged exactly, but per-shard
+          instruments carry ``shard=`` labels so cross-shard merging of
+          one histogram only happens for deliberately global names;
+        * time series interleave samples by time, keeping the bound.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters.setdefault(name, Counter()).inc(value)
+        for name, entry in snapshot.get("gauges", {}).items():
+            gauge = self._gauges.setdefault(name, Gauge())
+            if not isinstance(entry, dict):   # pre-telemetry scalar form
+                entry = {"value": entry, "min": entry, "max": entry}
+            gauge.value = entry.get("value", 0.0)
+            for attr, fold in (("min", min), ("max", max)):
+                incoming = entry.get(attr)
+                if incoming is None:
+                    continue
+                current = getattr(gauge, attr)
+                setattr(
+                    gauge, attr,
+                    incoming if current is None else fold(current, incoming),
+                )
+        for name, entry in snapshot.get("histograms", {}).items():
+            hist = self._histograms.setdefault(name, Histogram())
+            incoming_count = entry.get("count", 0)
+            if not incoming_count:
+                continue
+            for i, key in enumerate(("p50", "p95", "p99")):
+                estimate = entry.get(key)
+                if estimate is None:
+                    continue
+                sketch = hist._quantiles[i]
+                own = sketch.value
+                merged_count = hist.count + incoming_count
+                blended = (
+                    estimate
+                    if own is None
+                    else (own * hist.count + estimate * incoming_count)
+                    / merged_count
+                )
+                # Re-seat the sketch on the blended estimate: further
+                # observations keep adjusting from there.  The count is
+                # clamped to 5 so the sketch never re-enters its
+                # seeding branch (markers are already placed).
+                count_eff = max(merged_count, 5)
+                fresh = _P2Quantile(sketch.p)
+                fresh._count = count_eff
+                fresh._q = [
+                    hist.min if hist.min is not None else blended,
+                    blended, blended, blended,
+                    hist.max if hist.max is not None else blended,
+                ]
+                mid = 1.0 + (count_eff - 1) * sketch.p
+                fresh._n = [1.0, max(2.0, mid - 1), max(3.0, mid),
+                            max(4.0, mid + 1), float(count_eff)]
+                hist._quantiles = (
+                    hist._quantiles[:i] + (fresh,) + hist._quantiles[i + 1:]
+                )
+            hist.count += incoming_count
+            hist.total += entry.get("sum", 0.0)
+            for attr, fold in (("min", min), ("max", max)):
+                incoming = entry.get(attr)
+                if incoming is None:
+                    continue
+                current = getattr(hist, attr)
+                setattr(
+                    hist, attr,
+                    incoming if current is None else fold(current, incoming),
+                )
+        for name, entry in snapshot.get("timeseries", {}).items():
+            series = self._timeseries.get(name)
+            if series is None:
+                series = self._timeseries.setdefault(
+                    name, TimeSeries(entry.get("capacity", 256))
+                )
+            series.extend([tuple(s) for s in entry.get("samples", [])])
 
     def format(self) -> str:
         """A human-readable dump, one instrument per line."""
@@ -171,13 +474,110 @@ class MetricsRegistry:
         for name, counter in sorted(self._counters.items()):
             lines.append(f"{name:<44} {counter.value}")
         for name, gauge in sorted(self._gauges.items()):
-            lines.append(f"{name:<44} {gauge.value}")
+            lines.append(
+                f"{name:<44} {gauge.value} "
+                f"min={gauge.min} max={gauge.max}"
+            )
         for name, hist in sorted(self._histograms.items()):
+            p95 = hist.p95
             lines.append(
                 f"{name:<44} n={hist.count} mean={hist.mean:.3f} "
                 f"min={hist.min} max={hist.max}"
+                + (f" p50={hist.p50:.3f} p95={p95:.3f}" if p95 is not None
+                   else "")
+            )
+        for name, series in sorted(self._timeseries.items()):
+            last = series.last
+            lines.append(
+                f"{name:<44} samples={series.recorded} "
+                + (f"last={last[1]:g}@t={last[0]:.3f}" if last else "empty")
             )
         return "\n".join(lines)
+
+
+class TelemetrySampler:
+    """A kernel-scheduled periodic event that turns totals into curves.
+
+    Every ``interval`` simulated seconds the sampler walks the
+    registry's counters and gauges and appends ``(now, value)`` to a
+    same-named :class:`TimeSeries` ring — so delivery counts, MAC queue
+    depths, active transmitters, and energy draw become plottable
+    curves instead of end-of-run numbers.  Extra probes (anything
+    callable) attach via :meth:`track`.
+
+    Cost model: one event per interval, O(instruments) dict walk per
+    tick, zero allocations beyond the bounded rings — and a no-op under
+    :data:`NULL_REGISTRY` (``start`` refuses to schedule).  The sampler
+    only *reads* simulation state, consumes no RNG, and schedules at
+    default priority, so a sampled run's outcome is bit-identical to an
+    unsampled one.
+    """
+
+    def __init__(
+        self,
+        sim,
+        registry: Optional[MetricsRegistry] = None,
+        interval: float = 1.0,
+        capacity: int = 256,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sampler interval must be positive")
+        self.sim = sim
+        self.registry = (
+            registry if registry is not None else current_registry()
+        )
+        self.interval = interval
+        self.capacity = capacity
+        self.ticks = 0
+        self._probes: List[Tuple[TimeSeries, Callable[[], float]]] = []
+        self._event = None
+
+    def track(self, name: str, source, **labels: Any) -> TimeSeries:
+        """Sample ``source`` (a callable, or anything with ``.value``)
+        into the named time series on every tick."""
+        series = self.registry.timeseries(
+            name, capacity=self.capacity, **labels
+        )
+        probe = source if callable(source) else (lambda: source.value)
+        self._probes.append((series, probe))
+        return series
+
+    def start(self) -> "TelemetrySampler":
+        """Schedule the periodic sampling event (no-op when disabled)."""
+        if self.registry.enabled and self._event is None:
+            self._event = self.sim.schedule(
+                self.interval, self._tick, name="telemetry.sample"
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        now = self.sim.now
+        registry = self.registry
+        capacity = self.capacity
+        # Refresh the kernel's queue-health gauges mid-run so their
+        # curves exist (they normally settle only at run-loop exit).
+        sample_health = getattr(self.sim, "sample_health", None)
+        if sample_health is not None:
+            sample_health()
+        for name, counter in registry._counters.items():
+            registry.timeseries(name, capacity=capacity).record(
+                now, counter.value
+            )
+        for name, gauge in registry._gauges.items():
+            registry.timeseries(name, capacity=capacity).record(
+                now, gauge.value
+            )
+        for series, probe in self._probes:
+            series.record(now, float(probe()))
+        self._event = self.sim.schedule(
+            self.interval, self._tick, name="telemetry.sample"
+        )
 
 
 #: the disabled registry components fall back to when none is active

@@ -172,3 +172,71 @@ class TestSuiteLifecycle:
             suite.detach()
         counter = registry.counter("faults.violations")
         assert counter.value == 1
+
+
+class TestFlightRecorderIntegration:
+    def test_first_violation_dumps_causal_leadup(self, tmp_path):
+        """The postmortem contract: when an invariant breaks, the dump
+        holds the trace events that causally preceded it — at least 64
+        on a run with real traffic — and it is written exactly once."""
+        from repro.analysis.tracelog import load_trace
+        from repro.faults.scenarios import resilience_run
+
+        path = tmp_path / "postmortem.jsonl"
+        result = resilience_run(
+            fault="crash", seed=3, duration=40.0,
+            flight_recorder=str(path), monitor_max_entries=0,
+        )
+        assert not result["invariants_ok"]
+        info = result["flight_recorder"]
+        assert info["path"] == str(path)
+        assert info["records"] >= 64
+        records = load_trace(path)
+        header, events = records[0], records[1:]
+        assert header.category == "flight.header"
+        assert header.data["reason"] == "invariant-violation"
+        assert "gradient-bound" in header.data["violation"]
+        assert len(events) == info["records"]
+        # Every retained event precedes (or coincides with) the breach:
+        # the dump happens synchronously inside the violation handler.
+        violation_time = 5.0  # first probe
+        assert all(r.time <= violation_time for r in events)
+
+    def test_clean_run_dumps_at_end(self, tmp_path):
+        from repro.analysis.tracelog import load_trace
+        from repro.faults.scenarios import resilience_run
+
+        path = tmp_path / "healthy.jsonl"
+        result = resilience_run(
+            fault="crash", seed=3, duration=40.0,
+            flight_recorder=str(path),
+        )
+        assert result["invariants_ok"]
+        records = load_trace(path)
+        assert records[0].data["reason"] == "end-of-run"
+        assert result["flight_recorder"]["records"] == len(records) - 1
+
+    def test_without_recorder_result_shape_unchanged(self):
+        """The faults smoke gate compares two runs for bit-identical
+        equality; the flight_recorder key must not appear unless asked
+        for."""
+        from repro.faults.scenarios import resilience_run
+
+        result = resilience_run(fault="crash", seed=3, duration=40.0)
+        assert "flight_recorder" not in result
+
+    def test_monitor_dump_once_per_run(self, tmp_path):
+        from repro.sim.trace import FlightRecorder
+
+        net = small_network()
+        recorder = FlightRecorder(net.trace)
+        path = tmp_path / "once.jsonl"
+        suite = MonitorSuite(net, recorder=recorder, dump_path=path)
+        tx(net, 1, "9.1", hops=2)
+        tx(net, 1, "9.1", hops=5)   # violation 1: dumps
+        first_dump = path.read_text()
+        tx(net, 1, "9.1", hops=6)   # violation 2: must not re-dump
+        assert len(suite.violations) == 2
+        assert recorder.dumps == 1
+        assert path.read_text() == first_dump
+        suite.detach()

@@ -232,8 +232,8 @@ def test_run_settles_processed_and_pending_gauges():
         sim.schedule(3.0, lambda: None)
         sim.run(until=2.0)
         snapshot = registry.snapshot()
-    assert snapshot["gauges"]["kernel.events_processed"] == 2
-    assert snapshot["gauges"]["kernel.pending_events"] == 1
+    assert snapshot["gauges"]["kernel.events_processed"]["value"] == 2
+    assert snapshot["gauges"]["kernel.pending_events"]["value"] == 1
 
 
 def test_run_window_settles_gauges_too():
@@ -243,5 +243,5 @@ def test_run_window_settles_gauges_too():
             sim.schedule(t, lambda: None)
         sim.run_window(2.5)
         snapshot = registry.snapshot()
-    assert snapshot["gauges"]["kernel.events_processed"] == 2
-    assert snapshot["gauges"]["kernel.pending_events"] == 1
+    assert snapshot["gauges"]["kernel.events_processed"]["value"] == 2
+    assert snapshot["gauges"]["kernel.pending_events"]["value"] == 1

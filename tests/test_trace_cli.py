@@ -128,3 +128,77 @@ class TestDispatch:
         assert rc == 0
         records = load_trace(out)
         assert any(r.category == "diffusion.tx" for r in records)
+
+
+class TestShards:
+    @pytest.fixture(scope="class")
+    def shards_out(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("shards") / "shards.jsonl"
+        rc = tracecli.main([
+            "shards", "--scenario", "flood", "--shards", "2",
+            "--columns", "8", "--rows", "4", "--duration", "5",
+            "--seed", "11", "--out", str(out), "--smoke",
+        ])
+        assert rc == 0
+        return out
+
+    def test_report_attributes_all_windows(self, shards_out, capsys):
+        rc = tracecli.main([
+            "shards", "--scenario", "flood", "--shards", "2",
+            "--columns", "8", "--rows", "4", "--duration", "5",
+            "--seed", "11",
+        ])
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "window attribution" in stdout
+        assert " 100.0%" in stdout
+        assert "barrier stall" in stdout
+        assert "load imbalance" in stdout
+        assert "window span" in stdout
+
+    def test_out_is_valid_tracelog(self, shards_out):
+        records = load_trace(shards_out)
+        by_cat = {}
+        for r in records:
+            by_cat.setdefault(r.category, []).append(r)
+        assert len(by_cat["shard.stats"]) == 2
+        assert len(by_cat["shard.profile"]) == 1
+        assert len(by_cat["metrics.snapshot"]) == 1
+        stats = by_cat["shard.stats"][0].data
+        assert sum(stats["windows_by_term"].values()) == stats["rounds"]
+        profile = by_cat["shard.profile"][0].data
+        assert profile["windows"] == sum(
+            s.data["rounds"] for s in by_cat["shard.stats"]
+        )
+
+    def test_summarize_reads_sharded_output(self, shards_out, capsys):
+        """`trace summarize` on a sharded run's JSONL — the previously
+        untested path: merged shard metrics render as counters."""
+        assert tracecli.main(["summarize", str(shards_out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "shard.stats" in stdout
+        assert "metrics:" in stdout
+        assert "shard.rounds{shard=0}" in stdout
+        assert "shard.rounds{shard=1}" in stdout
+
+    def test_smoke_catches_broken_attribution(self, monkeypatch, capsys):
+        """If a window ever goes unattributed, the smoke gate fails."""
+        from repro.shard import runner
+
+        real = runner.run_sharded
+
+        def sabotage(plan, transport="inline", timeout=None):
+            result = real(plan, transport=transport)
+            result["shards"][0]["windows_by_term"] = {}
+            return result
+
+        monkeypatch.setattr(
+            "repro.shard.run_sharded", sabotage
+        )
+        rc = tracecli.main([
+            "shards", "--scenario", "flood", "--shards", "2",
+            "--columns", "8", "--rows", "4", "--duration", "5",
+            "--smoke",
+        ])
+        assert rc == 1
+        assert "attributed windows" in capsys.readouterr().err
