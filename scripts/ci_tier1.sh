@@ -18,8 +18,16 @@ python -m repro.experiments.matchbench --smoke
 # Radio-channel perf smoke: the indexed channel must produce verdicts
 # identical to the reference O(N) scan, and its carrier-sense scan
 # counter must track active transmitters while the reference's grows
-# with network size (again counters, not wall time).
+# with network size (again counters, not wall time).  With numpy
+# present this also gates the vectorized engine: it must engage
+# (batch_engaged) and match both scalar engines outcome-for-outcome.
 python -m repro.experiments.channelbench --smoke
+
+# Scalar-fallback gate: force the batch engine off and re-run the
+# channel equivalence suite (vectorized cases skip; every vectorize()
+# call must degrade to the scalar fast path bit-identically), so the
+# numpy-free configuration can never rot.
+REPRO_NO_NUMPY=1 python -m pytest -x -q tests/test_channel_equivalence.py
 
 # Sharded-kernel smoke: spatially partitioned conservative execution
 # must produce outcomes bit-identical to the single-queue oracle across

@@ -44,11 +44,16 @@ def _build_scenario(args):
         isi_testbed_network,
     )
 
+    vectorized = bool(getattr(args, "vectorized", False))
     if args.scenario == "isi":
-        network = isi_testbed_network(seed=args.seed)
+        network = isi_testbed_network(
+            seed=args.seed, channel_vectorized=vectorized
+        )
         return network, FIG8_SINK, list(FIG8_SOURCES[: args.sources])
     topology = Topology.line(args.nodes, spacing=15.0)
-    network = SensorNetwork(topology, seed=args.seed)
+    network = SensorNetwork(
+        topology, seed=args.seed, channel_vectorized=vectorized
+    )
     node_ids = network.node_ids()
     return network, node_ids[0], [node_ids[-1]]
 
@@ -129,6 +134,15 @@ def _run_summarize(args) -> int:
                 record.data.get("counters", {}).items()
             ):
                 print(f"  {name:<44} {value}")
+            for name, hist in sorted(
+                record.data.get("histograms", {}).items()
+            ):
+                if not hist.get("count"):
+                    continue  # registered but never observed
+                line = f"  {name:<44} n={hist['count']} mean={hist['mean']:.2f}"
+                if hist.get("p95") is not None:
+                    line += f" p95={hist['p95']:.2f} max={hist['max']:g}"
+                print(line)
     return 0
 
 
@@ -370,6 +384,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between data sends (paper cadence: ~6s)",
     )
     rec.add_argument("--seed", type=int, default=1)
+    rec.add_argument(
+        "--vectorized", action="store_true",
+        help="route the channel through the numpy batch engine "
+        "(DESIGN.md §11); falls back scalar when numpy is absent",
+    )
     rec.set_defaults(func=_run_record)
 
     summ = sub.add_parser("summarize", help="run-level statistics")

@@ -10,8 +10,18 @@ audibility/carrier sets and an active-transmitter registry, making the
 per-fragment cost O(audible) and the carrier-sense cost O(active
 transmitters).
 
-Two scenarios, each run with ``indexed=False`` (the reference scan) and
-``True`` on identical seeds, verdict-checked before reporting:
+Three engines run each scenario on identical seeds, verdict-checked
+against each other before reporting:
+
+* ``reference`` — the O(N) per-fragment scan;
+* ``indexed`` — the PR-4 neighborhood fast path (scalar memo walks);
+* ``vectorized`` — the numpy batch engine
+  (:mod:`repro.radio.vectorized`): struct-of-arrays bound rows, cached
+  exact delivery rows, and set-membership carrier sense.  Skipped (and
+  reported null) when numpy is unavailable or ``REPRO_NO_NUMPY`` is
+  set.
+
+Two scenarios:
 
 * **radio flood** (primary) — every node broadcasts a periodic beacon
   through its CSMA MAC on a grid whose radio neighborhood stays
@@ -51,12 +61,22 @@ from repro.core import DiffusionConfig
 from repro.mac import CsmaMac
 from repro.naming import AttributeVector
 from repro.naming.keys import Key
-from repro.radio import Channel, DistancePropagation, Modem, Topology
+from repro.radio import (
+    Channel,
+    DistancePropagation,
+    Modem,
+    Topology,
+    vectorize,
+    vectorized_available,
+)
 from repro.sim import SeedSequence, Simulator
 from repro.testbed import SensorNetwork
 
 #: (columns, rows) grids reported in BENCH_channel.json.
 DEFAULT_GRIDS: Tuple[Tuple[int, int], ...] = ((7, 2), (10, 5), (15, 10))
+
+#: the benchmark's engine axis, in report order.
+ENGINES: Tuple[str, ...] = ("reference", "indexed", "vectorized")
 
 #: wall-time runs per engine; the best is reported.
 REPS = 3
@@ -113,23 +133,39 @@ def _result(channel: Channel, wall: float, outcome: Dict) -> Dict:
                 index.memo_hits / memo_total if memo_total else 0.0
             ),
         }
+        result["batch_engaged"] = index.has_batch
     return result
+
+
+def _normalize_engine(engine) -> str:
+    """Accept the historical bool axis (False=reference, True=indexed)."""
+    if engine is False:
+        return "reference"
+    if engine is True:
+        return "indexed"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown channel engine {engine!r}")
+    return engine
 
 
 def run_flood(
     columns: int,
     rows: int,
-    indexed: bool,
+    engine="indexed",
     duration: float = 30.0,
     seed: int = 1,
 ) -> Dict:
     """Every node beacons through its CSMA MAC; no upper layers."""
+    engine = _normalize_engine(engine)
     topo = Topology.grid(columns, rows, spacing=FLOOD_SPACING)
     sim = Simulator()
     seeds = SeedSequence(seed)
+    propagation = DistancePropagation(topo, seed=seed)
+    if engine == "vectorized":
+        propagation = vectorize(propagation)
     channel = Channel(
-        sim, DistancePropagation(topo, seed=seed), seeds=seeds,
-        indexed=indexed,
+        sim, propagation, seeds=seeds,
+        indexed=engine != "reference",
     )
     heard = [0]
 
@@ -170,17 +206,20 @@ def run_flood(
 def run_diffusion(
     columns: int,
     rows: int,
-    indexed: bool,
+    engine="indexed",
     duration: float = 30.0,
     seed: int = 1,
 ) -> Dict:
     """Full-stack run: two corner sources stream to a corner sink."""
+    engine = _normalize_engine(engine)
     # msg ids draw from a process-global counter; restart it so paired
     # runs are bit-identical, not merely equivalent.
     core_messages._msg_counter = itertools.count(1)
     topo = Topology.grid(columns, rows, spacing=DIFFUSION_SPACING)
     net = SensorNetwork(
-        topo, config=CONFIG, seed=seed, channel_indexed=indexed
+        topo, config=CONFIG, seed=seed,
+        channel_indexed=engine != "reference",
+        channel_vectorized=engine == "vectorized",
     )
     n_nodes = columns * rows
 
@@ -212,6 +251,44 @@ def run_diffusion(
     )
 
 
+def run_engines(
+    runner: Callable[..., Dict],
+    columns: int,
+    rows: int,
+    duration: float = 30.0,
+    seed: int = 1,
+    reps: int = 1,
+    engines: Tuple[str, ...] = ENGINES,
+) -> Dict[str, Dict]:
+    """Run one scenario under every engine, verdict-checked.
+
+    Every engine's outcome must equal the reference's — the whole
+    benchmark is void if the fast paths change any verdict.  With
+    ``reps > 1`` each engine runs that many times and reports its best
+    wall time (outcomes are deterministic, so they are checked on every
+    rep).  The vectorized engine is skipped (absent from the result)
+    when numpy is unavailable.
+    """
+    engines = tuple(
+        e for e in engines if e != "vectorized" or vectorized_available()
+    )
+    best: Dict[str, Dict] = {}
+    for _ in range(reps):
+        for engine in engines:
+            result = runner(columns, rows, engine, duration, seed)
+            baseline = best.get("reference", result if engine == "reference" else None)
+            if baseline is not None and result["outcome"] != baseline["outcome"]:
+                raise AssertionError(
+                    f"{engine} channel diverged from reference on the "
+                    f"{columns}x{rows} grid: {baseline['outcome']} != "
+                    f"{result['outcome']}"
+                )
+            held = best.get(engine)
+            if held is None or result["wall_seconds"] < held["wall_seconds"]:
+                best[engine] = result
+    return best
+
+
 def run_pair(
     runner: Callable[..., Dict],
     columns: int,
@@ -220,54 +297,55 @@ def run_pair(
     seed: int = 1,
     reps: int = 1,
 ) -> Tuple[Dict, Dict]:
-    """Reference + indexed runs of one scenario, verdict-checked.
+    """Reference + indexed runs of one scenario, verdict-checked."""
+    results = run_engines(
+        runner, columns, rows, duration, seed, reps,
+        engines=("reference", "indexed"),
+    )
+    return results["reference"], results["indexed"]
 
-    With ``reps > 1`` each engine runs that many times and reports its
-    best wall time (outcomes are deterministic, so they are checked on
-    every rep).
-    """
-    reference = fast = None
-    for _ in range(reps):
-        ref = runner(columns, rows, False, duration, seed)
-        idx = runner(columns, rows, True, duration, seed)
-        if ref["outcome"] != idx["outcome"]:
-            raise AssertionError(
-                f"indexed channel diverged from reference on the "
-                f"{columns}x{rows} grid: {ref['outcome']} != "
-                f"{idx['outcome']}"
-            )
-        if reference is None or ref["wall_seconds"] < reference["wall_seconds"]:
-            reference = ref
-        if fast is None or idx["wall_seconds"] < fast["wall_seconds"]:
-            fast = idx
-    return reference, fast
+
+def _engine_cell(result: Dict) -> Dict:
+    cell = {
+        "wall_seconds": round(result["wall_seconds"], 3),
+        "carrier_checks_per_query": round(
+            result["carrier_checks_per_query"], 2
+        ),
+    }
+    if "index" in result:
+        cell.update(result["index"])
+    return cell
 
 
 def _report_row(
-    scenario: str, columns: int, rows: int, reference: Dict, fast: Dict
+    scenario: str, columns: int, rows: int, results: Dict[str, Dict]
 ) -> Dict:
-    return {
+    reference = results["reference"]
+    fast = results["indexed"]
+    row = {
         "scenario": scenario,
         "grid": f"{columns}x{rows}",
         "n_nodes": columns * rows,
         "outcome": fast["outcome"],
-        "reference": {
-            "wall_seconds": round(reference["wall_seconds"], 3),
-            "carrier_checks_per_query": round(
-                reference["carrier_checks_per_query"], 2
-            ),
-        },
-        "indexed": {
-            "wall_seconds": round(fast["wall_seconds"], 3),
-            "carrier_checks_per_query": round(
-                fast["carrier_checks_per_query"], 2
-            ),
-            **fast["index"],
-        },
+        "reference": _engine_cell(reference),
+        "indexed": _engine_cell(fast),
         "speedup": round(
             reference["wall_seconds"] / fast["wall_seconds"], 2
         ),
     }
+    vectorized = results.get("vectorized")
+    if vectorized is not None:
+        row["vectorized"] = _engine_cell(vectorized)
+        row["vectorized"]["batch_engaged"] = vectorized.get(
+            "batch_engaged", False
+        )
+        row["speedup_vectorized"] = round(
+            reference["wall_seconds"] / vectorized["wall_seconds"], 2
+        )
+        row["speedup_vectorized_vs_indexed"] = round(
+            fast["wall_seconds"] / vectorized["wall_seconds"], 2
+        )
+    return row
 
 
 def run_bench(
@@ -275,16 +353,16 @@ def run_bench(
 ) -> Dict:
     results: List[Dict] = []
     for columns, rows in grids:
-        reference, fast = run_pair(
+        engines = run_engines(
             run_flood, columns, rows, duration, seed, reps=REPS
         )
-        results.append(_report_row("radio-flood", columns, rows, reference, fast))
+        results.append(_report_row("radio-flood", columns, rows, engines))
     # One full-stack data point at the largest size.
     columns, rows = grids[-1]
-    reference, fast = run_pair(
+    engines = run_engines(
         run_diffusion, columns, rows, duration, seed, reps=REPS
     )
-    results.append(_report_row("diffusion", columns, rows, reference, fast))
+    results.append(_report_row("diffusion", columns, rows, engines))
     return {
         "benchmark": "radio channel delivery + carrier sense",
         "workloads": {
@@ -379,6 +457,35 @@ def main(argv=None) -> int:
         # covers this in depth; here it guards the CLI wiring).
         run_pair(run_diffusion, 7, 2, smoke_duration)
         print("channel smoke diffusion 7x2: outcomes identical")
+        # Vectorized gate: the batch engine must produce identical
+        # verdicts, and must actually engage when numpy is present.
+        if vectorized_available():
+            results = run_engines(run_flood, 10, 5, smoke_duration)
+            if "vectorized" not in results:
+                print("FAIL: vectorized engine did not run", file=sys.stderr)
+                return 1
+            vec = results["vectorized"]
+            if vec["outcome"] != results["reference"]["outcome"]:
+                print(
+                    "FAIL: vectorized outcome diverged", file=sys.stderr
+                )
+                return 1
+            if not vec.get("batch_engaged"):
+                print(
+                    "FAIL: vectorized run fell back to the scalar path",
+                    file=sys.stderr,
+                )
+                return 1
+            run_engines(run_diffusion, 7, 2, smoke_duration)
+            print(
+                "channel smoke vectorized: outcomes identical, batch "
+                "path engaged"
+            )
+        else:
+            print(
+                "channel smoke vectorized: skipped (numpy unavailable "
+                "or REPRO_NO_NUMPY set)"
+            )
         return 0
 
     report = run_bench(duration=args.duration)
@@ -386,14 +493,24 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     for row in report["results"]:
-        print(
+        line = (
             f"{row['scenario']:>12} {row['n_nodes']:>4} nodes ({row['grid']}): "
             f"{row['reference']['wall_seconds']:>7.3f}s -> "
             f"{row['indexed']['wall_seconds']:>7.3f}s "
-            f"({row['speedup']:.2f}x), carrier checks/query "
+            f"({row['speedup']:.2f}x)"
+        )
+        if "vectorized" in row:
+            line += (
+                f" -> {row['vectorized']['wall_seconds']:>7.3f}s vectorized "
+                f"({row['speedup_vectorized']:.2f}x vs reference, "
+                f"{row['speedup_vectorized_vs_indexed']:.2f}x vs indexed)"
+            )
+        line += (
+            f", carrier checks/query "
             f"{row['reference']['carrier_checks_per_query']} -> "
             f"{row['indexed']['carrier_checks_per_query']}"
         )
+        print(line)
     print(f"wrote {args.out}")
     return 0
 

@@ -17,6 +17,11 @@ from repro.radio.propagation import (
     TablePropagation,
 )
 from repro.radio.topology import Position, Topology
+from repro.radio.vectorized import (
+    VectorizedPropagation,
+    available as vectorized_available,
+    vectorize,
+)
 
 __all__ = [
     "Channel",
@@ -33,4 +38,7 @@ __all__ = [
     "supports_fast_path",
     "Position",
     "Topology",
+    "VectorizedPropagation",
+    "vectorize",
+    "vectorized_available",
 ]

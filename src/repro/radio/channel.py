@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.radio.neighborhood import NeighborhoodIndex, supports_fast_path
+from repro.radio.vectorized import batch_hash_units
 from repro.sim import Simulator, TraceBus, trace_id_of
 from repro.sim.metrics import MetricsRegistry, current_registry
 from repro.sim.rng import SeedSequence, derive_seed
@@ -66,15 +67,23 @@ class Transmission:
     seqno: int
 
 
-@dataclass
 class _Reception:
-    transmission: Transmission
-    prr: float
-    corrupted: bool = False
-    # Why the reception failed, for loss attribution ("collision",
-    # "half-duplex", "channel-loss", "detached"); meaningful only when
-    # corrupted or on the loss paths in _finalize_reception.
-    reason: str = "collision"
+    """One reception attempt in flight at a node.
+
+    ``reason`` is why it failed ("collision", "half-duplex",
+    "channel-loss", "detached"); meaningful only when corrupted or on
+    the loss paths in _finalize_reception.  A plain __slots__ class —
+    one of these is allocated per audible lane per fragment, the
+    hottest allocation in the radio layer.
+    """
+
+    __slots__ = ("transmission", "prr", "corrupted", "reason")
+
+    def __init__(self, transmission: Transmission, prr: float) -> None:
+        self.transmission = transmission
+        self.prr = prr
+        self.corrupted = False
+        self.reason = "collision"
 
 
 class Channel:
@@ -125,8 +134,15 @@ class Channel:
         self._m_drop_loss = registry.counter(
             "channel.drops", reason="channel-loss"
         )
+        # Batch-engine observability (ISSUE: campaigns should record how
+        # much of the workload actually hit the batch path).
+        self._m_batch_size = registry.histogram("radio.batch_size")
+        self._m_vec_fallbacks = registry.counter("radio.vectorized_fallbacks")
         seeds = seeds or SeedSequence(1)
         self._loss_rng = seeds.stream("channel-loss")
+        # Bound method: one loss draw per clean reception makes the
+        # attribute chain worth hoisting.
+        self._stream_draw = self._loss_rng.random
         self._loss_seed = derive_seed(seeds.root_seed, "channel-loss-hash")
         self._modems: Dict[int, Any] = {}
         # Per-receiver in-progress receptions keyed by transmission
@@ -136,6 +152,12 @@ class Channel:
         # Entries leave via transmission_ended or a lazy carrier-sense
         # purge; the modem's transmitting flag stays authoritative.
         self._active: Dict[int, Transmission] = {}
+        # Batch engine only: src -> (entries, valid_until, generation)
+        # where entries are (node_id, modem, in_progress, prr) rows — the
+        # delivery row enriched with channel-side receiver state.  Valid
+        # while the PRR window holds and the index generation (bumped on
+        # every membership change and epoch move) is unchanged.
+        self._enriched: Dict[int, Tuple[list, float, int]] = {}
         # Ghost transmissions admitted from other shards: src ->
         # Transmission still on the air.  A remote sender has no local
         # modem, so its airtime is tracked here for carrier sense and
@@ -151,6 +173,17 @@ class Channel:
             NeighborhoodIndex(propagation, self.CARRIER_SENSE_THRESHOLD)
             if indexed
             else None
+        )
+        # The model opted into the batch engine (a VectorizedPropagation
+        # adapter, or anything else exposing batch_kernel); whether it
+        # actually engaged depends on numpy and the index being live.
+        self._vec_intended = callable(getattr(propagation, "batch_kernel", None))
+        vec_active = self.index is not None and self.index.has_batch
+        # Hashed loss draws batch per finalization event when the batch
+        # engine is live; stream mode must keep consuming the shared RNG
+        # in scalar finalization order, so it never batches.
+        self._hash_batcher = (
+            batch_hash_units if (vec_active and loss_mode == "hashed") else None
         )
         self._seqno = 0
         # Statistics.
@@ -172,6 +205,9 @@ class Channel:
         if modem.node_id in self._modems:
             raise ValueError(f"modem {modem.node_id} already attached")
         self._modems[modem.node_id] = modem
+        # Pre-create the in-progress map so the admission hot path can
+        # index it unconditionally (detach pops it, voiding receptions).
+        self._receiving.setdefault(modem.node_id, {})
         if self.index is not None:
             self.index.add_node(modem.node_id)
 
@@ -232,6 +268,58 @@ class Channel:
                         return True
             return False
         index.sync()
+        state = index._batch  # populated lazily; None on the scalar path
+        if state is None and index.has_batch:
+            state = index.batch_state()
+        if state is not None:
+            # Batch engine: each active sender owns an exact carrier
+            # hearer set (derived from its delivery row, so the PRRs are
+            # the scalar model's); the verdict per sender is one set
+            # membership test, same predicate and scan order as below.
+            # The window cache is read inline (carrier sense cannot move
+            # the epoch); misses fall back to the building call.
+            exact = state._carrier_exact
+            modems = self._modems
+            busy = False
+            checks = 0
+            stale: Optional[List[int]] = None
+            for src in self._active:
+                modem = modems.get(src)
+                if modem is None or not modem.transmitting:
+                    if stale is None:
+                        stale = []
+                    stale.append(src)
+                    continue
+                if src == node_id:
+                    continue
+                checks += 1
+                cached = exact.get(src)
+                if cached is not None and now < cached[1]:
+                    hearers = cached[0]
+                else:
+                    hearers = state.carrier_row(src, now)[0]
+                if node_id in hearers:
+                    busy = True
+                    break
+            if stale:
+                for src in stale:
+                    self._active.pop(src, None)
+            if not busy and self._remote_active:
+                for src, tx in list(self._remote_active.items()):
+                    if tx.end <= now:
+                        del self._remote_active[src]
+                        continue
+                    checks += 1
+                    cached = exact.get(src)
+                    if cached is not None and now < cached[1]:
+                        hearers = cached[0]
+                    else:
+                        hearers = state.carrier_row(src, now)[0]
+                    if node_id in hearers:
+                        busy = True
+                        break
+            self.carrier_checks += checks
+            return busy
         prr_memo = index.prr_memo
         carrier_map = index.carrier_map
         busy = False
@@ -310,54 +398,16 @@ class Channel:
         )
         self.fragments_sent += 1
         self._m_sent.inc()
-        self.trace.emit(now, "channel.tx", node=src, nbytes=nbytes, dst=link_dst)
+        if self.trace._active:
+            self.trace.emit(
+                now, "channel.tx", node=src, nbytes=nbytes, dst=link_dst
+            )
         if self.on_transmission is not None:
             self.on_transmission(tx)
-
-        index = self.index
-        if index is None:
-            for node_id, modem in self._modems.items():
-                if node_id == src:
-                    continue
-                prr = self.propagation.link_prr(src, node_id, now)
-                if prr <= 0.0:
-                    continue
-                reception = self._admit_reception(tx, node_id, modem, prr)
-                self.sim.schedule(
-                    duration, self._finish_reception, node_id, reception,
-                    name="channel.rx",
-                )
-            return tx
-
-        self._active[src] = tx
-        modems = self._modems
-        audible = index.audible_from(src)  # syncs the epoch
-        prr_memo = index.prr_memo
-        batch: Optional[List[Tuple[int, _Reception]]] = None
-        for node_id in audible:
-            # Inline memo hit (nothing in this loop can move the epoch);
-            # misses fall back to the full windowed lookup.
-            cached = prr_memo.get((src, node_id))
-            if cached is not None and now < cached[1]:
-                index.memo_hits += 1
-                prr = cached[0]
-            else:
-                prr = index.link_prr(src, node_id, now)
-            if prr <= 0.0:
-                continue
-            reception = self._admit_reception(tx, node_id, modems[node_id], prr)
-            if batch is None:
-                batch = []
-            batch.append((node_id, reception))
-        if batch is not None:
-            # One simulator event finalizes every reception of this
-            # fragment.  All its receptions end at the same instant with
-            # consecutive sequence numbers, so no foreign event can
-            # observe the difference — outcomes and trace order match
-            # the reference per-reception events exactly.
-            self.sim.schedule(
-                duration, self._finish_transmission, batch, name="channel.rx"
-            )
+        if self.index is not None:
+            self.index.sync()
+            self._active[src] = tx
+        self._deliver_to(tx, duration)
         return tx
 
     def admit_remote_transmission(
@@ -395,10 +445,40 @@ class Channel:
         self.sim.schedule(
             duration, self._end_remote, src, tx, name="channel.ghost_end"
         )
+        if self.index is not None:
+            self.index.sync()
+        self._deliver_to(tx, duration)
+        return tx
 
+    def _end_remote(self, src: int, tx: Transmission) -> None:
+        """A ghost's airtime ended; stop asserting carrier for it."""
+        if self._remote_active.get(src) is tx:
+            del self._remote_active[src]
+
+    def _deliver_to(self, tx: Transmission, duration: float) -> None:
+        """Admit ``tx`` at every candidate receiver and schedule the
+        finalization event(s).
+
+        One helper serves all four admission paths (local and ghost
+        transmissions under either engine): the paths differ only in how
+        the receiver set and its exact PRRs are produced — reference
+        O(N) probe, indexed memo walk, or one cached batch delivery
+        row — never in the verdict logic, which lives solely in
+        _admit_reception.  A ghost's src never appears in the local
+        modem map, so the self-skip below is vacuous for it.
+        """
+        now = self.sim.now
+        src = tx.src
+        modems = self._modems
         index = self.index
         if index is None:
-            for node_id, modem in self._modems.items():
+            if self._vec_intended:
+                self._m_vec_fallbacks.inc()
+            # Reference scan: one finalization event per reception,
+            # exactly the original channel's behaviour (and cost).
+            for node_id, modem in modems.items():
+                if node_id == src:
+                    continue
                 prr = self.propagation.link_prr(src, node_id, now)
                 if prr <= 0.0:
                     continue
@@ -407,44 +487,95 @@ class Channel:
                     duration, self._finish_reception, node_id, reception,
                     name="channel.rx",
                 )
-            return tx
-
-        modems = self._modems
-        audible = index.audible_from(src)  # foreign srcs cache fine
-        prr_memo = index.prr_memo
-        batch: Optional[List[Tuple[int, _Reception]]] = None
-        for node_id in audible:
-            cached = prr_memo.get((src, node_id))
-            if cached is not None and now < cached[1]:
-                index.memo_hits += 1
-                prr = cached[0]
+            return
+        # The caller synced the index when the transmission started.
+        # Batch entries carry the receiver's modem and in-progress map so
+        # finalization never re-resolves either (safe: a detach voids its
+        # receptions with reason="detached", which short-circuits before
+        # the modem is consulted, and popping a voided reception from the
+        # pre-detach map is inert — even across a re-attach mid-flight).
+        # The common admission — idle receiver, empty in-progress map —
+        # is inlined; anything else goes through _admit_reception, the
+        # sole owner of the collision/capture verdict logic.
+        admit = self._admit_reception
+        receiving = self._receiving
+        seqno = tx.seqno
+        batch: Optional[list] = None
+        state = index.batch_state()
+        if state is not None:
+            # Batch engine: the delivery row already holds this window's
+            # exact (receiver, PRR) pairs in attach order; the enriched
+            # copy pins each receiver's modem and in-progress map for the
+            # life of the window (any attach/detach bumps the generation).
+            generation = index.generation
+            cached = self._enriched.get(src)
+            if (
+                cached is not None
+                and now < cached[1]
+                and cached[2] == generation
+            ):
+                entries = cached[0]
             else:
-                prr = index.link_prr(src, node_id, now)
-            if prr <= 0.0:
-                continue
-            reception = self._admit_reception(tx, node_id, modems[node_id], prr)
-            if batch is None:
-                batch = []
-            batch.append((node_id, reception))
+                pairs, valid = state.delivery_row(src, now)
+                entries = [
+                    (node_id, modems[node_id], receiving[node_id], prr)
+                    for node_id, prr in pairs
+                ]
+                self._enriched[src] = (entries, valid, generation)
+            self._m_batch_size.observe(len(entries))
+            for node_id, modem, in_progress, prr in entries:
+                if in_progress or modem.transmitting or modem.sleeping:
+                    reception = admit(tx, node_id, modem, prr)
+                else:
+                    reception = _Reception(tx, prr)
+                    in_progress[seqno] = reception
+                if batch is None:
+                    batch = []
+                batch.append((node_id, modem, in_progress, reception))
+        else:
+            if self._vec_intended:
+                self._m_vec_fallbacks.inc()
+            audible = index.audible_from(src)  # foreign srcs cache fine
+            prr_memo = index.prr_memo
+            for node_id in audible:
+                # Inline memo hit (nothing in this loop can move the
+                # epoch); misses fall back to the full windowed lookup.
+                cached = prr_memo.get((src, node_id))
+                if cached is not None and now < cached[1]:
+                    index.memo_hits += 1
+                    prr = cached[0]
+                else:
+                    prr = index.link_prr(src, node_id, now)
+                if prr <= 0.0:
+                    continue
+                modem = modems[node_id]
+                in_progress = receiving[node_id]
+                if in_progress or modem.transmitting or modem.sleeping:
+                    reception = admit(tx, node_id, modem, prr)
+                else:
+                    reception = _Reception(tx, prr)
+                    in_progress[seqno] = reception
+                if batch is None:
+                    batch = []
+                batch.append((node_id, modem, in_progress, reception))
         if batch is not None:
+            # One simulator event finalizes every reception of this
+            # fragment.  All its receptions end at the same instant with
+            # consecutive sequence numbers, so no foreign event can
+            # observe the difference — outcomes and trace order match
+            # the reference per-reception events exactly.
             self.sim.schedule(
                 duration, self._finish_transmission, batch, name="channel.rx"
             )
-        return tx
-
-    def _end_remote(self, src: int, tx: Transmission) -> None:
-        """A ghost's airtime ended; stop asserting carrier for it."""
-        if self._remote_active.get(src) is tx:
-            del self._remote_active[src]
 
     def _admit_reception(
         self, tx: Transmission, node_id: int, modem: Any, prr: float
     ) -> _Reception:
         """Create the reception at ``node_id`` and mark collisions with
         whatever is already in the air there."""
-        reception = _Reception(transmission=tx, prr=prr)
-        in_progress = self._receiving.setdefault(node_id, {})
-        if modem.transmitting or getattr(modem, "sleeping", False):
+        reception = _Reception(tx, prr)
+        in_progress = self._receiving[node_id]
+        if modem.transmitting or modem.sleeping:
             # Half-duplex, and sleeping radios hear nothing.
             reception.corrupted = True
             reception.reason = "half-duplex"
@@ -470,54 +601,92 @@ class Channel:
         in_progress[tx.seqno] = reception
         return reception
 
+    #: below this many receivers the numpy call overhead for a batched
+    #: hashed-draw exceeds the scalar hashing it replaces.
+    _BATCH_DRAW_MIN = 4
+
     def _finish_reception(self, node_id: int, reception: _Reception) -> None:
         in_progress = self._receiving.get(node_id)
         if in_progress is not None:
             in_progress.pop(reception.transmission.seqno, None)
-        self._finalize_reception(node_id, reception)
+        self._finalize_reception(
+            node_id, self._modems.get(node_id), reception, None
+        )
 
-    def _finish_transmission(self, batch: List[Tuple[int, _Reception]]) -> None:
-        receiving = self._receiving
-        for node_id, reception in batch:
-            in_progress = receiving.get(node_id)
-            if in_progress is not None:
+    def _finish_transmission(self, batch: list) -> None:
+        finalize = self._finalize_reception
+        draws = None
+        if self._hash_batcher is not None and len(batch) >= self._BATCH_DRAW_MIN:
+            # Hashed draws depend only on (seed, src, dst, start), never
+            # on finalization order or on whether the scalar path would
+            # have drawn at all — so the whole receiver set's uniforms
+            # can be precomputed in one uint64 batch (bit-identical to
+            # the scalar hash; unused lanes are simply discarded).
+            tx = batch[0][3].transmission
+            draws = self._hash_batcher(
+                self._loss_seed, tx.src, [entry[0] for entry in batch], tx.start
+            )
+        if draws is None:
+            for node_id, modem, in_progress, reception in batch:
                 in_progress.pop(reception.transmission.seqno, None)
-            self._finalize_reception(node_id, reception)
+                finalize(node_id, modem, reception, None)
+        else:
+            for (node_id, modem, in_progress, reception), draw in zip(
+                batch, draws
+            ):
+                in_progress.pop(reception.transmission.seqno, None)
+                finalize(node_id, modem, reception, draw)
 
-    def _finalize_reception(self, node_id: int, reception: _Reception) -> None:
+    def _finalize_reception(
+        self, node_id: int, modem: Any, reception: _Reception,
+        draw: Optional[float],
+    ) -> None:
         if reception.reason == "detached":
             # The receiver left the medium mid-flight; nothing to record.
+            # This guard runs before the (possibly stale) modem is used.
             return
-        modem = self._modems.get(node_id)
         if modem is None:
             return
         tx = reception.transmission
+        trace = self.trace
         if reception.corrupted:
-            self.trace.emit(
-                self.sim.now, "channel.collision", node=node_id, src=tx.src
-            )
+            if trace._active:
+                trace.emit(
+                    self.sim.now, "channel.collision", node=node_id, src=tx.src
+                )
             if reception.reason == "half-duplex":
                 self._m_drop_half_duplex.inc()
             else:
                 self._m_drop_collision.inc()
             self._note_radio_drop(node_id, tx, reception.reason)
             return
-        if modem.transmitting or getattr(modem, "sleeping", False):
+        if modem.transmitting or modem.sleeping:
             # Started transmitting (or fell asleep) mid-reception: lost.
             self._m_drop_half_duplex.inc()
             self._note_radio_drop(node_id, tx, "half-duplex")
             return
-        if self._loss_draw(node_id, tx) >= reception.prr:
+        if draw is None:
+            # _loss_draw, inlined: this runs once per clean reception.
+            if self.loss_mode == "stream":
+                draw = self._stream_draw()
+            else:
+                draw = _hash_unit((self._loss_seed, tx.src, node_id, tx.start))
+        if draw >= reception.prr:
             self.fragments_lost += 1
             self._m_drop_loss.inc()
-            self.trace.emit(self.sim.now, "channel.loss", node=node_id, src=tx.src)
+            if trace._active:
+                trace.emit(
+                    self.sim.now, "channel.loss", node=node_id, src=tx.src
+                )
             self._note_radio_drop(node_id, tx, "channel-loss")
             return
         self.fragments_delivered += 1
         self._m_delivered.inc()
-        self.trace.emit(
-            self.sim.now, "channel.rx", node=node_id, src=tx.src, nbytes=tx.nbytes
-        )
+        if trace._active:
+            trace.emit(
+                self.sim.now, "channel.rx", node=node_id, src=tx.src,
+                nbytes=tx.nbytes,
+            )
         modem.deliver(tx.payload, tx.src, tx.nbytes, tx.link_dst)
 
     def _loss_draw(self, node_id: int, tx: Transmission) -> float:
@@ -545,6 +714,8 @@ class Channel:
         failed copy is recorded (the path tools treat a broadcast hop as
         lost only when *no* copy got through).
         """
+        if not self.trace._active:
+            return
         if tx.link_dst is not None and tx.link_dst != node_id:
             return
         trace_id = trace_id_of(tx.payload)

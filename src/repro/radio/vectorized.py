@@ -1,0 +1,487 @@
+"""Vectorized radio fast path: struct-of-arrays link state on numpy.
+
+The PR-4 neighborhood index made the channel O(audible) per fragment,
+but every audible lane still costs a handful of Python dict probes and
+float compares.  This module batches that per-lane work:
+
+* :class:`VectorizedPropagation` — an opt-in adapter around any
+  :class:`~repro.radio.propagation.FastPathPropagation` model.  Scalar
+  queries delegate verbatim (bit-identical fallback); in addition the
+  adapter exposes :meth:`VectorizedPropagation.batch_kernel`, which the
+  :class:`~repro.radio.neighborhood.NeighborhoodIndex` uses to build a
+  :class:`BatchLinkState`.
+* :class:`BatchLinkState` — dense per-epoch arrays: member ids, one
+  inflated bound row per sender (audibility and carrier-sense cuts as
+  single vector compares), and per-sender *delivery rows* holding the
+  exact windowed PRR of every audible lane plus the row's joint expiry.
+* :func:`batch_hash_units` — the ``loss_mode="hashed"`` splitmix64
+  draw for a whole receiver set as uint64 array ops, bit-identical to
+  ``channel._hash_unit`` (it replays CPython's tuple hash lane by
+  lane).
+
+Correctness contract (DESIGN §11): batch *bounds* are inflated by
+``_BOUND_MARGIN`` so numpy ULP drift can only widen candidate sets —
+supersets are safe because every verdict re-checks the exact scalar
+PRR from ``link_prr_window``, exactly the PR-4 superset rule.  Exact
+PRRs are never computed with float vector math: delivery rows are
+filled lane by lane through the scalar model (once per validity
+window) and only *served* in batch.  Stream-mode loss draws stay on
+the shared RNG in finalization order; only hashed draws batch.
+
+Everything degrades gracefully: no numpy (or ``REPRO_NO_NUMPY=1`` in
+the environment), an unsupported model, or a non-opted-in model all
+yield ``batch_kernel() is None`` and the scalar fast path runs
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.radio.neighborhood import supports_fast_path
+from repro.radio.propagation import (
+    DistancePropagation,
+    GilbertElliotLink,
+    TablePropagation,
+)
+
+_MASK64 = (1 << 64) - 1
+#: additive slack on batch bound rows: far above float64 ULP noise in
+#: numpy's sqrt/cos vs math's, far below any PRR scale of interest, so
+#: batch cuts are supersets of the scalar cuts by construction.
+_BOUND_MARGIN = 1e-9
+
+# CPython's tuple hash (xxHash-style) and int hash internals, replayed
+# by batch_hash_units.  Stable across CPython versions with SIZEOF_VOID_P
+# == 8 (the tuple hash algorithm is part of the stable vectors in
+# Lib/test), and guarded by tests/test_vectorized.py exactness checks.
+_XXPRIME_1 = 11400714785074694791
+_XXPRIME_2 = 14029467366897019727
+_XXPRIME_5 = 2870177450012600261
+_PYHASH_MODULUS = (1 << 61) - 1
+
+_np = None
+_np_probed = False
+
+
+def _numpy():
+    """Import numpy once; None when unavailable."""
+    global _np, _np_probed
+    if not _np_probed:
+        _np_probed = True
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        globals()["_np"] = numpy
+    return _np
+
+
+def available() -> bool:
+    """Can the batch engine run here?
+
+    False when numpy is missing (it is an optional ``[perf]`` extra)
+    or when ``REPRO_NO_NUMPY`` is set in the environment — the CI knob
+    that forces the scalar fallback so it can never rot.  The env var
+    is re-read per call: tests toggle it around individual scenarios.
+    """
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return False
+    return _numpy() is not None
+
+
+def vectorize(model):
+    """Opt ``model`` into the batch engine.
+
+    Returns a :class:`VectorizedPropagation` wrapping ``model`` (idempotent
+    on an already-wrapped model).  The wrapper is safe to create even
+    when numpy is absent — it simply never yields a kernel and every
+    consumer stays on the scalar path.
+    """
+    if isinstance(model, VectorizedPropagation):
+        return model
+    return VectorizedPropagation(model)
+
+
+class VectorizedPropagation:
+    """Opt-in adapter: scalar delegation plus a batch kernel factory.
+
+    The channel and the neighborhood/boundary indexes treat any model
+    exposing a callable ``batch_kernel`` as vectorization-capable; all
+    scalar protocol methods delegate verbatim so verdicts computed
+    through the adapter are bit-identical to the wrapped model's.
+    """
+
+    def __init__(self, base) -> None:
+        if not supports_fast_path(base):
+            raise ValueError(
+                f"{type(base).__name__} does not implement the radio "
+                "fast-path protocol; the batch engine layers on top of it"
+            )
+        self.base = base
+        # Bind the wrapped model's methods straight onto the instance:
+        # scalar queries run tens of thousands of times per simulated
+        # second (epoch syncs, window refills), and instance-attribute
+        # dispatch skips the delegation frame entirely.  The class-level
+        # defs below remain the documented protocol (and the fallback
+        # for subclasses overriding them).
+        self.link_prr = base.link_prr
+        self.prr_epoch = base.prr_epoch
+        self.link_prr_bound = base.link_prr_bound
+        self.link_prr_window = base.link_prr_window
+
+    # -- scalar delegation (bit-identical fallback) -------------------------
+
+    def link_prr(self, src: int, dst: int, now: float) -> float:
+        return self.base.link_prr(src, dst, now)
+
+    def prr_epoch(self) -> object:
+        return self.base.prr_epoch()
+
+    def link_prr_bound(self, src: int, dst: int) -> float:
+        return self.base.link_prr_bound(src, dst)
+
+    def link_prr_window(self, src: int, dst: int, now: float) -> Tuple[float, float]:
+        return self.base.link_prr_window(src, dst, now)
+
+    def audible_reach(self) -> Optional[float]:
+        reach = getattr(self.base, "audible_reach", None)
+        return reach() if reach is not None else None
+
+    # -- batch protocol -----------------------------------------------------
+
+    def batch_kernel(self):
+        """A bound-row kernel for the wrapped model, or None.
+
+        None when numpy is unavailable/disabled or when no kernel knows
+        the model's geometry — callers must fall back to scalar code
+        (and count the fallback; see Channel's radio.vectorized_fallbacks).
+        """
+        np = _numpy() if available() else None
+        if np is None:
+            return None
+        return _make_kernel(self.base, np)
+
+
+# -- kernels ----------------------------------------------------------------
+
+
+def _make_kernel(model, np):
+    if isinstance(model, VectorizedPropagation):
+        model = model.base
+    if isinstance(model, DistancePropagation):
+        return _DistanceKernel(model, np)
+    if isinstance(model, TablePropagation):
+        return _TableKernel(model, np)
+    if isinstance(model, GilbertElliotLink):
+        base = _make_kernel(model.base, np)
+        if base is None:
+            return None
+        scale = max(1.0, model.bad_scale)
+        return base if scale == 1.0 else _ScaledKernel(base, scale)
+    return None
+
+
+class _KernelBase:
+    """Shared plumbing: every kernel can build a BatchLinkState."""
+
+    #: True when bound(src, dst) == bound(dst, src) for every pair, so
+    #: one row serves both directions of a boundary cut.
+    symmetric = False
+
+    def build_state(
+        self, members: List[int], propagation, carrier_threshold: float
+    ) -> "BatchLinkState":
+        return BatchLinkState(propagation, self, members, carrier_threshold)
+
+
+class _DistanceKernel(_KernelBase):
+    """Inflated geometric bound rows for :class:`DistancePropagation`.
+
+    Mirrors the scalar ``link_prr_bound`` (cosine ramp evaluated at
+    ``effective_distance * (1 - asymmetry)``) with ``_BOUND_MARGIN``
+    slack added to every in-range lane and to the range cut itself.
+    Symmetric: effective distance is, and the asymmetry shrink factor
+    in the *bound* is a constant.
+    """
+
+    symmetric = True
+
+    def __init__(self, model: DistancePropagation, np) -> None:
+        self.model = model
+        self.np = np
+
+    def prepare(self, members: List[int]) -> "_PreparedDistance":
+        return _PreparedDistance(self.model, members, self.np)
+
+
+class _PreparedDistance:
+    def __init__(self, model: DistancePropagation, members: List[int], np) -> None:
+        self.np = np
+        self.model = model
+        topo = model.topology
+        positions = [topo.position(m) for m in members]
+        self._x = np.array([p.x for p in positions], dtype=np.float64)
+        self._y = np.array([p.y for p in positions], dtype=np.float64)
+        floors = [p.floor for p in positions]
+        self._floors = (
+            np.array(floors, dtype=np.float64) if any(floors) else None
+        )
+        self._penalty = topo.floor_penalty
+
+    def bound_row(self, src: int):
+        np = self.np
+        model = self.model
+        pos = model.topology.position(src)
+        dx = self._x - pos.x
+        dy = self._y - pos.y
+        distance = np.sqrt(dx * dx + dy * dy)
+        if self._floors is not None or pos.floor:
+            floors = (
+                self._floors
+                if self._floors is not None
+                else np.zeros(len(distance))
+            )
+            distance = distance + self._penalty * np.abs(floors - pos.floor)
+        effective = distance * (1.0 - model.asymmetry)
+        full, limit = model.full_range, model.max_range
+        frac = np.clip((effective - full) / (limit - full), 0.0, 1.0)
+        row = 0.5 * (1.0 + np.cos(np.pi * frac)) + _BOUND_MARGIN
+        row[effective >= limit * (1.0 + _BOUND_MARGIN)] = 0.0
+        return row
+
+
+class _TableKernel(_KernelBase):
+    """Exact bound rows for :class:`TablePropagation`.
+
+    Table bounds are dict floats copied verbatim — no float math, so no
+    margin is needed and the batch cuts equal the scalar cuts exactly.
+    Not symmetric: A→B may be pinned without B→A.
+    """
+
+    symmetric = False
+
+    def __init__(self, model: TablePropagation, np) -> None:
+        self.model = model
+        self.np = np
+
+    def prepare(self, members: List[int]) -> "_PreparedTable":
+        return _PreparedTable(self.model, members, self.np)
+
+
+class _PreparedTable:
+    def __init__(self, model: TablePropagation, members: List[int], np) -> None:
+        self.np = np
+        self._size = len(members)
+        index = {member: i for i, member in enumerate(members)}
+        rows: Dict[int, List[Tuple[int, float]]] = {}
+        for (src, dst), prr in model._links.items():
+            lane = index.get(dst)
+            if lane is not None and prr > 0.0:
+                rows.setdefault(src, []).append((lane, prr))
+        self._rows = rows
+
+    def bound_row(self, src: int):
+        row = self.np.zeros(self._size, dtype=self.np.float64)
+        for lane, prr in self._rows.get(src, ()):
+            row[lane] = prr
+        return row
+
+
+class _ScaledKernel(_KernelBase):
+    """Gilbert–Elliot overlay: the scalar bound is the base bound times
+    ``max(1, bad_scale)``; scaling a row by a constant >= 1 preserves
+    the superset property lane by lane."""
+
+    def __init__(self, base, scale: float) -> None:
+        self.base = base
+        self.scale = scale
+        self.symmetric = base.symmetric
+
+    def prepare(self, members: List[int]) -> "_ScaledPrepared":
+        return _ScaledPrepared(self.base.prepare(members), self.scale)
+
+
+class _ScaledPrepared:
+    def __init__(self, prepared, scale: float) -> None:
+        self._prepared = prepared
+        self._scale = scale
+
+    def bound_row(self, src: int):
+        return self._prepared.bound_row(src) * self._scale
+
+
+# -- struct-of-arrays link state --------------------------------------------
+
+
+class BatchLinkState:
+    """Dense link state for one (membership, prr_epoch) generation.
+
+    Owned by the :class:`~repro.radio.neighborhood.NeighborhoodIndex`
+    and rebuilt whenever it resets, so every array here is internally
+    consistent with one topology snapshot.  Three tiers, all lazy per
+    sender:
+
+    * **bound rows** — one inflated-bound vector over the members, the
+      raw material for both cuts;
+    * **audibility / carrier candidate cuts** — single vector compares
+      against 0 / the carrier threshold, in member (attach) order so
+      delivery walks receivers exactly like the scalar engines;
+    * **delivery rows** — the *exact* windowed PRR of every audible
+      lane (scalar-filled through ``link_prr_window``, bit-identical by
+      construction) plus the row's joint expiry, the min over all lane
+      windows.  A Gilbert–Elliot lane at PRR 0 can flip positive, so
+      zero lanes participate in the min like any other.
+
+    ``carrier_row`` derives exact carrier-hearer sets from the same
+    lanes: carrier sense against an active sender becomes one set
+    membership test instead of a candidate-cut plus memo probe chain.
+    """
+
+    def __init__(
+        self, propagation, kernel, members: List[int], carrier_threshold: float
+    ) -> None:
+        np = _numpy()
+        self.np = np
+        self.propagation = propagation
+        self.members = list(members)
+        self.ids = np.array(self.members, dtype=np.int64)
+        self.carrier_threshold = carrier_threshold
+        self.kernel = kernel.prepare(self.members)
+        self._rows: Dict[int, Any] = {}
+        self._audible: Dict[int, List[int]] = {}
+        self._carrier: Dict[int, set] = {}
+        # src -> (pairs, valid_until, lanes); lanes are mutable
+        # [prr, expiry, dst] triples refreshed in place on expiry.
+        self._delivery: Dict[int, Tuple[List[Tuple[int, float]], float, list]] = {}
+        # src -> (hearers, valid_until), derived from the delivery lanes.
+        self._carrier_exact: Dict[int, Tuple[set, float]] = {}
+
+    def bound_row(self, src: int):
+        """Inflated bound vector for ``src`` over the members (self lane
+        zeroed, like the scalar ``link_prr_bound(src, src) == 0``)."""
+        row = self._rows.get(src)
+        if row is None:
+            row = self.kernel.bound_row(src)
+            if row.shape[0]:
+                row[self.ids == src] = 0.0
+            self._rows[src] = row
+        return row
+
+    def audible_ids(self, src: int) -> List[int]:
+        """Members that may hear ``src``, in attach order (superset)."""
+        audible = self._audible.get(src)
+        if audible is None:
+            row = self.bound_row(src)
+            audible = self.ids[row > 0.0].tolist()
+            self._audible[src] = audible
+        return audible
+
+    def carrier_ids(self, src: int) -> set:
+        """Members where ``src``'s carrier *may* reach the threshold."""
+        candidates = self._carrier.get(src)
+        if candidates is None:
+            row = self.bound_row(src)
+            candidates = set(self.ids[row >= self.carrier_threshold].tolist())
+            self._carrier[src] = candidates
+        return candidates
+
+    def delivery_row(
+        self, src: int, now: float
+    ) -> Tuple[List[Tuple[int, float]], float]:
+        """Exact ``(dst, prr)`` receiver pairs for a fragment from
+        ``src`` at ``now``, plus the absolute time the row stays valid.
+
+        Pairs carry only lanes with positive PRR, in member order —
+        exactly the receivers (and order) the scalar engines admit.
+        """
+        cached = self._delivery.get(src)
+        if cached is not None and now < cached[1]:
+            return cached[0], cached[1]
+        window = self.propagation.link_prr_window
+        if cached is None:
+            lanes = []
+            for dst in self.audible_ids(src):
+                prr, expiry = window(src, dst, now)
+                lanes.append([prr, expiry, dst])
+        else:
+            lanes = cached[2]
+            for lane in lanes:
+                if lane[1] <= now:
+                    lane[0], lane[1] = window(src, lane[2], now)
+        pairs = [(lane[2], lane[0]) for lane in lanes if lane[0] > 0.0]
+        valid_until = min((lane[1] for lane in lanes), default=math.inf)
+        self._delivery[src] = (pairs, valid_until, lanes)
+        return pairs, valid_until
+
+    def carrier_row(self, src: int, now: float) -> Tuple[set, float]:
+        """Nodes where ``src``'s carrier is *exactly* audible enough to
+        assert busy, with the window the set stays valid."""
+        cached = self._carrier_exact.get(src)
+        if cached is not None and now < cached[1]:
+            return cached
+        pairs, valid_until = self.delivery_row(src, now)
+        threshold = self.carrier_threshold
+        hearers = {dst for dst, prr in pairs if prr >= threshold}
+        cached = (hearers, valid_until)
+        self._carrier_exact[src] = cached
+        return cached
+
+
+# -- batched hashed loss draws ----------------------------------------------
+
+
+def _fold_lane(acc: int, lane: int) -> int:
+    """One lane of CPython's tuple hash, on Python ints."""
+    acc = (acc + lane * _XXPRIME_2) & _MASK64
+    acc = ((acc << 31) | (acc >> 33)) & _MASK64
+    return (acc * _XXPRIME_1) & _MASK64
+
+
+def batch_hash_units(
+    seed: int, src: int, dsts: List[int], start: float
+) -> Optional[List[float]]:
+    """``channel._hash_unit((seed, src, dst, start))`` for every dst.
+
+    Replays CPython's 64-bit tuple hash with the seed/src/start lanes
+    folded once as scalars (their ``hash()`` is taken from the
+    interpreter, so floats and huge seeds stay exact) and the dst lane
+    as a uint64 vector — valid because ``hash(n) == n`` for ints in
+    ``[0, 2**61 - 1)``, which node ids always are.  The splitmix64
+    finalizer then runs as wrapped uint64 array ops.  Returns plain
+    Python floats, bit-identical to the scalar draw (asserted by
+    tests/test_vectorized.py), or None when numpy is unavailable or a
+    dst falls outside the identity-hash range (caller falls back).
+    """
+    np = _numpy()
+    if np is None:
+        return None
+    if not dsts:
+        return []
+    if min(dsts) < 0 or max(dsts) >= _PYHASH_MODULUS:
+        return None
+    acc0 = _fold_lane(_XXPRIME_5, hash(seed) & _MASK64)
+    acc0 = _fold_lane(acc0, hash(src) & _MASK64)
+    start_lane = hash(start) & _MASK64
+    with np.errstate(over="ignore"):
+        acc = np.uint64(acc0) + np.asarray(dsts, dtype=np.uint64) * np.uint64(
+            _XXPRIME_2
+        )
+        acc = ((acc << np.uint64(31)) | (acc >> np.uint64(33))) * np.uint64(
+            _XXPRIME_1
+        )
+        acc = acc + np.uint64(start_lane) * np.uint64(_XXPRIME_2)
+        acc = ((acc << np.uint64(31)) | (acc >> np.uint64(33))) * np.uint64(
+            _XXPRIME_1
+        )
+        acc = acc + np.uint64(4 ^ (_XXPRIME_5 ^ 3527539))
+        # hash() never returns -1; tuplehash substitutes this constant.
+        acc[acc == np.uint64(_MASK64)] = np.uint64(1546275796)
+        # splitmix64 finalizer, as in channel._hash_unit.
+        x = acc + np.uint64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        x = x ^ (x >> np.uint64(31))
+    return ((x >> np.uint64(11)) * (2.0 ** -53)).tolist()

@@ -35,6 +35,7 @@ from repro.radio import (
     DistancePropagation,
     Modem,
     Topology,
+    vectorize,
 )
 from repro.sim import SeedSequence, Simulator
 from repro.testbed import SensorNetwork
@@ -111,6 +112,11 @@ class FloodScenario(Scenario):
         sim = Simulator()
         seeds = SeedSequence(seed)
         propagation = DistancePropagation(topology, seed=seed)
+        # params["vectorized"]: opt into the numpy batch engine.  Safe on
+        # any worker — without numpy the wrapper is inert and the scalar
+        # fast path runs, bit-identically (hashed draws are engine-free).
+        if params.get("vectorized"):
+            propagation = vectorize(propagation)
         channel = Channel(
             sim, propagation, seeds=seeds, loss_mode="hashed"
         )
@@ -229,6 +235,7 @@ class DiffusionScenario(Scenario):
             config=DIFFUSION_CONFIG,
             seed=seed,
             loss_mode="hashed",
+            channel_vectorized=bool(params.get("vectorized")),
             nodes=owned,
         )
         delivered: List[float] = []

@@ -132,6 +132,9 @@ class Event:
             self._owner._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
+        # The heap itself orders (time, priority, seq, event) tuples so
+        # comparisons run in C; this stays for direct Event sorting
+        # (repro.shard heaps attempt events by the same key).
         return (self.time, self.priority, self.seq) < (
             other.time, other.priority, other.seq
         )
@@ -158,7 +161,11 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        # Heap entries are (time, priority, seq, event): the explicit
+        # key tuple keeps every heap comparison in C instead of calling
+        # Event.__lt__ (which allocates two tuples per comparison) —
+        # seq is unique, so the event itself is never compared.
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -210,11 +217,12 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(
-            self.now + delay, next(self._seq), callback, args, name=name,
-            owner=self, priority=priority,
-        )
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        when = self.now + delay
+        # Positional construction: this is the hottest allocation in the
+        # kernel, and keyword passing costs measurably at this volume.
+        event = Event(when, seq, callback, args, name, self, priority)
+        heapq.heappush(self._heap, (when, priority, seq, event))
         if self._on_schedule is not None:
             self._on_schedule(event)
         return event
@@ -232,9 +240,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        event = Event(time, next(self._seq), callback, args, name=name,
-                      owner=self, priority=priority)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, seq, callback, args, name, self, priority)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         if self._on_schedule is not None:
             self._on_schedule(event)
         return event
@@ -261,7 +269,7 @@ class Simulator:
 
     def _compact(self) -> None:
         """Rebuild the heap without cancelled events (lazy deletion)."""
-        self._heap = [e for e in self._heap if not e.cancelled]
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
         self.compactions += 1
@@ -274,19 +282,19 @@ class Simulator:
         bookkeeping from this after a topology epoch change); callers
         must not mutate the queue while iterating.
         """
-        for event in self._heap:
-            if not event.cancelled:
-                yield event
+        for entry in self._heap:
+            if not entry[3].cancelled:
+                yield entry[3]
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][3].cancelled:
             heapq.heappop(heap)
             self._cancelled -= 1
         if not heap:
             return None
-        return heap[0].time
+        return heap[0][0]
 
     def _pop_next(
         self, until: Optional[float], strict: bool = False
@@ -301,15 +309,15 @@ class Simulator:
         heap = self._heap
         while heap:
             head = heap[0]
-            if head.cancelled:
+            if head[3].cancelled:
                 heapq.heappop(heap)
                 self._cancelled -= 1
                 continue
             if until is not None and (
-                head.time > until or (strict and head.time == until)
+                head[0] > until or (strict and head[0] == until)
             ):
                 return None
-            return heapq.heappop(heap)
+            return heapq.heappop(heap)[3]
         return None
 
     def _dispatch(self, event: Event) -> None:

@@ -38,14 +38,20 @@ class TraceBus:
 
     def __init__(self) -> None:
         self._listeners: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+        # Total live subscriptions: emit's first check is one attribute
+        # load, so a silent bus (benchmarks, untraced campaigns) pays
+        # essentially nothing per record.
+        self._active = 0
 
     def subscribe(self, category: str, listener: Callable[[TraceRecord], None]) -> None:
         self._listeners.setdefault(category, []).append(listener)
+        self._active += 1
 
     def unsubscribe(self, category: str, listener: Callable[[TraceRecord], None]) -> None:
         listeners = self._listeners.get(category, [])
         if listener in listeners:
             listeners.remove(listener)
+            self._active -= 1
 
     def emit(
         self,
@@ -55,6 +61,8 @@ class TraceBus:
         **data: Any,
     ) -> None:
         """Create and dispatch a record; cheap when nobody listens."""
+        if not self._active:
+            return
         listeners = self._listeners.get(category)
         wildcard = self._listeners.get("*")
         if not listeners and not wildcard:

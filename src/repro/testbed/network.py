@@ -24,6 +24,7 @@ from repro.radio import (
     Modem,
     RadioParams,
     Topology,
+    vectorize,
 )
 from repro.sim import SeedSequence, Simulator, TraceBus
 
@@ -131,6 +132,7 @@ class SensorNetwork:
         mac_queue_limit: int = 64,
         mac_factory=None,
         channel_indexed: Optional[bool] = None,
+        channel_vectorized: bool = False,
         loss_mode: str = "stream",
         nodes: Optional[Iterable[int]] = None,
     ) -> None:
@@ -142,6 +144,14 @@ class SensorNetwork:
         self.seeds = SeedSequence(seed)
         self.radio_params = radio_params or RadioParams()
         self.propagation = propagation or DistancePropagation(topology, seed=seed)
+        # channel_vectorized: opt the propagation model into the numpy
+        # batch engine (repro.radio.vectorized).  The wrapper delegates
+        # every scalar query verbatim, so when numpy is missing (or
+        # REPRO_NO_NUMPY is set) the run silently continues on the
+        # scalar fast path — verdicts are bit-identical either way, and
+        # the channel's radio.vectorized_fallbacks counter records it.
+        if channel_vectorized:
+            self.propagation = vectorize(self.propagation)
         # channel_indexed: None = use the neighborhood fast path when the
         # propagation model supports it; False forces the reference O(N)
         # scan (the equivalence suite and channelbench compare the two).

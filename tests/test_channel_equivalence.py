@@ -69,6 +69,8 @@ def run_scenario(
     mobile: bool = False,
     duty_cycle: bool = False,
     failures: bool = False,
+    vectorized: bool = False,
+    loss_mode: str = "stream",
 ):
     """Build + run one seeded scenario; return (trace events, outcome)."""
     # msg_id draws from a process-global counter; restart it so the two
@@ -92,6 +94,7 @@ def run_scenario(
     net = SensorNetwork(
         topo, config=CONFIG, seed=seed, propagation=propagation,
         mac_factory=mac_factory, channel_indexed=indexed,
+        channel_vectorized=vectorized, loss_mode=loss_mode,
     )
     net.channel.capture_effect = capture
     assert net.channel.indexed is indexed
@@ -169,6 +172,22 @@ def assert_equivalent(**kwargs):
     return ref_channel, fast_channel
 
 
+def assert_vectorized_equivalent(**kwargs):
+    """All three engines — reference, indexed, vectorized — must agree
+    event for event; the vectorized run must really engage the batch."""
+    ref_events, ref_outcome, _ = run_scenario(indexed=False, **kwargs)
+    idx_events, idx_outcome, _ = run_scenario(indexed=True, **kwargs)
+    vec_events, vec_outcome, vec_channel = run_scenario(
+        indexed=True, vectorized=True, **kwargs
+    )
+    assert idx_outcome == ref_outcome
+    assert idx_events == ref_events
+    assert vec_outcome == ref_outcome
+    assert vec_events == ref_events
+    assert ref_outcome["sent"] > 20
+    return vec_channel
+
+
 class TestStaticEquivalence:
     @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
     def test_random_static_topologies(self, seed):
@@ -213,3 +232,64 @@ class TestDynamicEquivalence:
         assert_equivalent(
             seed=8, gilbert=True, mobile=True, duty_cycle=True, failures=True
         )
+
+
+needs_numpy = pytest.mark.skipif(
+    not __import__("repro.radio.vectorized", fromlist=["available"]).available(),
+    reason="numpy unavailable or REPRO_NO_NUMPY set",
+)
+
+
+@needs_numpy
+class TestVectorizedEquivalence:
+    """The numpy batch engine against both scalar engines.
+
+    Same contract as the indexed suite, one level up: batch audibility
+    cuts, delivery rows, exact carrier hearer sets, and batched hashed
+    loss draws must leave every channel trace event and counter
+    bit-identical.
+    """
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_static_topologies(self, seed):
+        chan = assert_vectorized_equivalent(seed=seed)
+        assert chan.index.has_batch
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_gilbert_elliot_links(self, seed):
+        assert_vectorized_equivalent(seed=seed, gilbert=True)
+
+    def test_gilbert_elliot_dead_bad_state(self):
+        assert_vectorized_equivalent(seed=4, gilbert=True, bad_scale=0.0)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_mobility_epoch_invalidation(self, seed):
+        chan = assert_vectorized_equivalent(seed=seed, mobile=True)
+        assert chan.index.rebuilds > 0
+
+    @pytest.mark.parametrize("loss_mode", ["stream", "hashed"])
+    def test_loss_modes(self, loss_mode):
+        assert_vectorized_equivalent(seed=5, loss_mode=loss_mode)
+
+    def test_hashed_draws_with_gilbert(self):
+        assert_vectorized_equivalent(seed=6, gilbert=True, loss_mode="hashed")
+
+    def test_everything_at_once(self):
+        assert_vectorized_equivalent(
+            seed=8, gilbert=True, mobile=True, duty_cycle=True, failures=True,
+            loss_mode="hashed",
+        )
+
+    def test_numpy_disabled_falls_back_bit_identically(self, monkeypatch):
+        # With REPRO_NO_NUMPY the vectorize() wrapper must be inert:
+        # same verdicts via the scalar fast path, fallbacks counted.
+        vec_events, vec_outcome, _ = run_scenario(
+            indexed=True, vectorized=True, seed=3
+        )
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        off_events, off_outcome, off_channel = run_scenario(
+            indexed=True, vectorized=True, seed=3
+        )
+        assert not off_channel.index.has_batch
+        assert off_outcome == vec_outcome
+        assert off_events == vec_events

@@ -1,0 +1,364 @@
+"""Unit and property tests for the numpy batch engine.
+
+Three layers of evidence, matching DESIGN §11's correctness contract:
+
+* ``batch_hash_units`` replays CPython's tuple hash + splitmix64 in
+  uint64 array ops — asserted *bit-identical* to ``channel._hash_unit``
+  over adversarial seeds, node ids, and airtime floats.
+* :class:`BatchLinkState` bound rows are supersets of the scalar
+  ``link_prr_bound`` cut, and delivery rows carry exactly the scalar
+  ``link_prr_window`` values, across random topologies × {Distance,
+  Table, Gilbert–Elliot} × mobility epochs (hypothesis-driven).
+* The availability switch (numpy import, ``REPRO_NO_NUMPY``) and the
+  graceful scalar fallback, including the fallback counter.
+"""
+
+import math
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.radio import (
+    Channel,
+    DistancePropagation,
+    GilbertElliotLink,
+    Modem,
+    TablePropagation,
+    Topology,
+    VectorizedPropagation,
+    vectorize,
+)
+from repro.radio.channel import _hash_unit
+from repro.radio.neighborhood import BoundaryIndex, NeighborhoodIndex
+from repro.radio.vectorized import available, batch_hash_units
+from repro.sim import SeedSequence, Simulator
+
+numpy_missing = not available()
+needs_numpy = pytest.mark.skipif(
+    numpy_missing, reason="numpy unavailable or REPRO_NO_NUMPY set"
+)
+
+
+def random_topology(n_nodes: int, seed: int, side: float = 80.0) -> Topology:
+    rng = random.Random(seed * 7919 + 13)
+    topo = Topology()
+    for node_id in range(n_nodes):
+        topo.add_node(node_id, rng.uniform(0, side), rng.uniform(0, side))
+    return topo
+
+
+# -- hashed-draw exactness ---------------------------------------------------
+
+
+@needs_numpy
+class TestBatchHashUnits:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**64 - 1),
+        src=st.integers(min_value=0, max_value=10_000),
+        dsts=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1, max_size=40,
+        ),
+        start=st.floats(
+            min_value=0.0, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bit_identical_to_scalar_hash(self, seed, src, dsts, start):
+        draws = batch_hash_units(seed, src, dsts, start)
+        assert draws is not None
+        for dst, draw in zip(dsts, draws):
+            assert draw == _hash_unit((seed, src, dst, start))
+
+    def test_huge_seed_and_fractional_start(self):
+        # Seeds beyond 2**64 and non-integral floats take the scalar
+        # hash() path for their lanes; they must still match exactly.
+        seed, src, start = 2**80 + 12345, 7, 3.724999999999
+        dsts = list(range(64))
+        draws = batch_hash_units(seed, src, dsts, start)
+        assert draws == [
+            _hash_unit((seed, src, dst, start)) for dst in dsts
+        ]
+
+    def test_negative_start_matches(self):
+        dsts = [0, 1, 2]
+        draws = batch_hash_units(3, 1, dsts, -0.5)
+        assert draws == [_hash_unit((3, 1, dst, -0.5)) for dst in dsts]
+
+    def test_empty_receiver_set(self):
+        assert batch_hash_units(1, 2, [], 0.0) == []
+
+    def test_out_of_identity_range_dst_falls_back(self):
+        # hash(n) != n at the PyHash modulus; the batcher must refuse
+        # rather than silently diverge from the scalar draw.
+        assert batch_hash_units(1, 2, [2**61 - 1], 0.0) is None
+        assert batch_hash_units(1, 2, [-1], 0.0) is None
+
+    def test_draws_are_uniform_enough(self):
+        draws = batch_hash_units(9, 3, list(range(2000)), 1.25)
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.45 < sum(draws) / len(draws) < 0.55
+
+
+# -- struct-of-arrays link state ---------------------------------------------
+
+
+def _models(topo, seed):
+    """The three propagation families over one topology."""
+    distance = DistancePropagation(topo, seed=seed)
+    table = TablePropagation()
+    rng = random.Random(seed + 17)
+    ids = topo.node_ids()
+    for src in ids:
+        for dst in ids:
+            if src != dst and rng.random() < 0.3:
+                table.set_link(src, dst, rng.uniform(0.05, 1.0))
+    gilbert = GilbertElliotLink(
+        DistancePropagation(topo, seed=seed),
+        mean_good=4.0, mean_bad=1.5, bad_scale=0.3, seed=seed,
+    )
+    return {"distance": distance, "table": table, "gilbert": gilbert}
+
+
+@needs_numpy
+class TestBatchLinkState:
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=24),
+        seed=st.integers(min_value=1, max_value=500),
+        family=st.sampled_from(["distance", "table", "gilbert"]),
+        now=st.floats(min_value=0.0, max_value=30.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bound_rows_are_supersets_and_windows_exact(
+        self, n_nodes, seed, family, now
+    ):
+        topo = random_topology(n_nodes, seed)
+        model = _models(topo, seed)[family]
+        wrapped = vectorize(model)
+        kernel = wrapped.batch_kernel()
+        assert kernel is not None
+        members = topo.node_ids()
+        state = kernel.build_state(members, wrapped, 0.05)
+        for src in members:
+            audible = set(state.audible_ids(src))
+            assert src not in audible
+            for dst in members:
+                if dst == src:
+                    continue
+                scalar_bound = model.link_prr_bound(src, dst)
+                if scalar_bound > 0.0:
+                    # Superset rule: the batch cut may only widen.
+                    assert dst in audible
+            pairs, valid_until = state.delivery_row(src, now)
+            assert valid_until > now
+            for dst, prr in pairs:
+                assert prr == model.link_prr_window(src, dst, now)[0]
+                assert prr > 0.0
+            hearers, _valid = state.carrier_row(src, now)
+            assert hearers == {dst for dst, prr in pairs if prr >= 0.05}
+
+    def test_delivery_row_refreshes_after_expiry(self):
+        topo = random_topology(8, 3)
+        model = GilbertElliotLink(
+            DistancePropagation(topo, seed=3),
+            mean_good=2.0, mean_bad=1.0, bad_scale=0.2, seed=3,
+        )
+        wrapped = vectorize(model)
+        state = wrapped.batch_kernel().build_state(
+            topo.node_ids(), wrapped, 0.05
+        )
+        pairs0, valid0 = state.delivery_row(0, 0.0)
+        assert valid0 < math.inf  # GE windows expire
+        later = valid0 + 0.5
+        pairs1, valid1 = state.delivery_row(0, later)
+        assert valid1 > later
+        for dst, prr in pairs1:
+            assert prr == model.link_prr_window(0, dst, later)[0]
+
+    def test_zero_prr_lane_can_flip_positive(self):
+        # A GE lane in the bad state with bad_scale=0 is audible (bound
+        # superset) but delivers at PRR 0 — until the window flips.  The
+        # row's joint expiry must include such lanes.
+        topo = Topology()
+        topo.add_node(0, 0.0, 0.0)
+        topo.add_node(1, 5.0, 0.0)
+        model = GilbertElliotLink(
+            DistancePropagation(topo, seed=11),
+            mean_good=1.0, mean_bad=1.0, bad_scale=0.0, seed=11,
+        )
+        wrapped = vectorize(model)
+        state = wrapped.batch_kernel().build_state([0, 1], wrapped, 0.05)
+        t = 0.0
+        saw_zero = saw_positive = False
+        for _ in range(200):
+            pairs, valid = state.delivery_row(0, t)
+            if pairs:
+                saw_positive = True
+            else:
+                saw_zero = True
+            if saw_zero and saw_positive:
+                break
+            t = valid + 1e-6
+        assert saw_zero and saw_positive
+
+
+@needs_numpy
+class TestVectorizedPropagation:
+    def test_requires_fast_path_protocol(self):
+        class NoProtocol:
+            def link_prr(self, src, dst, now):
+                return 1.0
+
+        with pytest.raises(ValueError):
+            VectorizedPropagation(NoProtocol())
+
+    def test_vectorize_is_idempotent(self):
+        topo = random_topology(4, 1)
+        wrapped = vectorize(DistancePropagation(topo, seed=1))
+        assert vectorize(wrapped) is wrapped
+
+    def test_scalar_queries_delegate_verbatim(self):
+        topo = random_topology(6, 2)
+        base = DistancePropagation(topo, seed=2)
+        wrapped = vectorize(base)
+        for src in range(6):
+            for dst in range(6):
+                if src == dst:
+                    continue
+                assert wrapped.link_prr(src, dst, 1.0) == base.link_prr(
+                    src, dst, 1.0
+                )
+                assert wrapped.link_prr_bound(src, dst) == base.link_prr_bound(
+                    src, dst
+                )
+        assert wrapped.prr_epoch() == base.prr_epoch()
+        assert wrapped.audible_reach() == base.audible_reach()
+
+    def test_unknown_model_yields_no_kernel(self):
+        topo = random_topology(4, 1)
+
+        class Custom:
+            """Fast-path capable, but no kernel knows its geometry."""
+
+            def __init__(self):
+                self.base = DistancePropagation(topo, seed=1)
+
+            def link_prr(self, src, dst, now):
+                return self.base.link_prr(src, dst, now)
+
+            def prr_epoch(self):
+                return self.base.prr_epoch()
+
+            def link_prr_bound(self, src, dst):
+                return self.base.link_prr_bound(src, dst)
+
+            def link_prr_window(self, src, dst, now):
+                return self.base.link_prr_window(src, dst, now)
+
+        assert vectorize(Custom()).batch_kernel() is None
+
+
+# -- availability switch and fallback ----------------------------------------
+
+
+class TestAvailability:
+    def test_env_var_disables_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert not available()
+        topo = random_topology(4, 1)
+        wrapped = vectorize(DistancePropagation(topo, seed=1))
+        assert wrapped.batch_kernel() is None
+        index = NeighborhoodIndex(wrapped, 0.05)
+        assert not index.has_batch
+
+    @needs_numpy
+    def test_engine_reenables_when_env_cleared(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert not available()
+        monkeypatch.delenv("REPRO_NO_NUMPY")
+        assert available()
+
+    @needs_numpy
+    def test_channel_counts_fallbacks_when_unindexed(self):
+        # vectorize() on a reference (indexed=False) channel can never
+        # engage; every delivery counts one fallback.
+        from repro.sim.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        topo = random_topology(3, 5, side=10.0)
+        sim = Simulator()
+        channel = Channel(
+            sim, vectorize(DistancePropagation(topo, seed=5)),
+            seeds=SeedSequence(5), metrics=registry, indexed=False,
+        )
+        for node_id in topo.node_ids():
+            Modem(sim, channel, node_id)
+        channel.start_transmission(0, "x", 27, 0.02)
+        sim.run(until=1.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["radio.vectorized_fallbacks"] == 1
+
+    @needs_numpy
+    def test_channel_records_batch_sizes_when_engaged(self):
+        from repro.sim.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        topo = random_topology(6, 6, side=12.0)
+        sim = Simulator()
+        channel = Channel(
+            sim, vectorize(DistancePropagation(topo, seed=6)),
+            seeds=SeedSequence(6), metrics=registry,
+        )
+        for node_id in topo.node_ids():
+            Modem(sim, channel, node_id)
+        channel.start_transmission(0, "x", 27, 0.02)
+        sim.run(until=1.0)
+        assert channel.index is not None and channel.index.has_batch
+        snap = registry.snapshot()
+        hist = snap["histograms"]["radio.batch_size"]
+        assert hist["count"] == 1
+        assert snap["counters"].get("radio.vectorized_fallbacks", 0) == 0
+
+
+# -- boundary index batch rebuild --------------------------------------------
+
+
+@needs_numpy
+class TestBoundaryBatchRebuild:
+    def _indexes(self, n, seed, owned_frac=0.5, vectorized=True):
+        topo = random_topology(n, seed)
+        ids = topo.node_ids()
+        owned = ids[: int(n * owned_frac)]
+        foreign = ids[int(n * owned_frac):]
+        model = DistancePropagation(topo, seed=seed)
+        prop = vectorize(model) if vectorized else model
+        return BoundaryIndex(prop, owned, foreign)
+
+    @given(
+        n=st.integers(min_value=4, max_value=30),
+        seed=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_rebuild_matches_scalar_walk(self, n, seed):
+        vec = self._indexes(n, seed, vectorized=True)
+        ref = self._indexes(n, seed, vectorized=False)
+        vec.sync()
+        ref.sync()
+        assert vec.boundary_senders() == ref.boundary_senders()
+        for foreign in sorted(vec._in):
+            assert vec._in[foreign] == ref._in.get(foreign, [])
+        assert vec._out.keys() == ref._out.keys()
+        for owned in vec._out:
+            assert sorted(vec._out[owned]) == sorted(ref._out[owned])
+
+    def test_lane_limit_falls_back_to_scalar_walk(self, monkeypatch):
+        monkeypatch.setattr(BoundaryIndex, "BATCH_LANE_LIMIT", 4)
+        vec = self._indexes(12, 9, vectorized=True)
+        ref = self._indexes(12, 9, vectorized=False)
+        vec.sync()
+        ref.sync()
+        assert vec.pair_checks > 0  # the scalar walk actually ran
+        assert vec.boundary_senders() == ref.boundary_senders()
