@@ -37,6 +37,14 @@ REPRO_NO_NUMPY=1 python -m pytest -x -q tests/test_channel_equivalence.py
 # flake).
 python -m repro.experiments.scalebench --smoke
 
+# Hierarchy smoke: flat propagation mode must stay bit-identical to
+# the classic regional scenario, clustered mode must elect heads
+# (0 < heads < N) and suppress member interest rebroadcasts, rendezvous
+# mode must suppress out-of-corridor copies, every mode must deliver
+# data, and the sharded outcomes must match the single-queue oracle
+# (counters and outcome equality, never wall time).
+python -m repro.experiments.hierarchybench --smoke
+
 # Fault-injection smoke: a seeded FaultPlan must replay bit-identically
 # (same timeline, same repair metrics), invariants must hold, and
 # repair must land within a bounded number of exploratory intervals

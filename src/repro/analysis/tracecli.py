@@ -119,6 +119,13 @@ def _run_summarize(args) -> int:
     print("by category:")
     for category, count in sorted(summary.by_category.items()):
         print(f"  {category:<24} {count}")
+    if summary.tx_by_class:
+        print("tx by message class:")
+        for label in sorted(summary.tx_by_class):
+            print(
+                f"  {label:<14} {summary.tx_by_class[label]:>8} msgs "
+                f"{summary.tx_bytes_by_class.get(label, 0):>10} B"
+            )
     if summary.tx_bytes_by_node:
         print("tx bytes by node:")
         for node, nbytes in sorted(summary.tx_bytes_by_node.items()):

@@ -122,6 +122,11 @@ class TraceSummary:
     last_time: Optional[float] = None
     by_category: Dict[str, int] = field(default_factory=dict)
     tx_bytes_by_node: Dict[int, int] = field(default_factory=dict)
+    #: transmissions split by message class (interest / data /
+    #: exploratory / reinforcement / control) — the split the hierarchy
+    #: ablation reports, recoverable from any recorded run.
+    tx_by_class: Dict[str, int] = field(default_factory=dict)
+    tx_bytes_by_class: Dict[str, int] = field(default_factory=dict)
     collisions_by_node: Dict[int, int] = field(default_factory=dict)
 
     @property
@@ -177,9 +182,14 @@ def summarize_campaign(records: Iterable[TraceRecord]) -> CampaignSummary:
 def summarize_trace(records: Iterable[TraceRecord]) -> TraceSummary:
     """The offline analysis Section 7 wished for: per-node traffic and
     collision hot spots from a recorded run."""
+    from repro.core.node import MESSAGE_CLASS_LABELS
+
+    class_of = {t.name: label for t, label in MESSAGE_CLASS_LABELS.items()}
     summary = TraceSummary()
     categories: Counter = Counter()
     tx_bytes: Dict[int, int] = defaultdict(int)
+    tx_class: Counter = Counter()
+    tx_class_bytes: Counter = Counter()
     collisions: Dict[int, int] = defaultdict(int)
     for record in records:
         summary.record_count += 1
@@ -189,10 +199,17 @@ def summarize_trace(records: Iterable[TraceRecord]) -> TraceSummary:
             summary.last_time = record.time
         categories[record.category] += 1
         if record.category == "diffusion.tx" and record.node is not None:
-            tx_bytes[record.node] += record.data.get("nbytes", 0)
+            nbytes = record.data.get("nbytes", 0)
+            tx_bytes[record.node] += nbytes
+            label = class_of.get(record.data.get("msg_type"))
+            if label is not None:
+                tx_class[label] += 1
+                tx_class_bytes[label] += nbytes
         if record.category == "channel.collision" and record.node is not None:
             collisions[record.node] += 1
     summary.by_category = dict(categories)
     summary.tx_bytes_by_node = dict(tx_bytes)
+    summary.tx_by_class = dict(tx_class)
+    summary.tx_bytes_by_class = dict(tx_class_bytes)
     summary.collisions_by_node = dict(collisions)
     return summary

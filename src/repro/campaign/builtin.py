@@ -391,6 +391,63 @@ def resilience_campaign(quick: bool = False, root_seed: int = 1) -> Campaign:
 
 
 # ---------------------------------------------------------------------------
+# hierarchy — propagation-mode ablation (flat / clustered / rendezvous)
+
+
+def hierarchy_trial(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One propagation mode on the regional workload, via the sharded
+    kernel; flattened for aggregation."""
+    from repro.experiments.hierarchybench import run_trial
+
+    row = run_trial(
+        mode=str(params["mode"]),
+        columns=int(params["columns"]),
+        rows=int(params["rows"]),
+        region=int(params.get("region", 8)),
+        duration=float(params.get("duration", 90.0)),
+        send_interval=float(params.get("send_interval", 2.0)),
+        seed=seed,
+        shards=int(params.get("shards", 1)),
+    )
+    h = row["hierarchy"]
+    return {
+        "mode": row["mode"],
+        "n_nodes": row["n_nodes"],
+        "control_messages": row["control_messages"],
+        "control_bytes": row["control_bytes"],
+        "delivered": row["delivered"],
+        "delivery_ratio": row["delivery_ratio"],
+        "time_to_first_data": (
+            row["time_to_first_data"]
+            if row["time_to_first_data"] is not None
+            else -1.0
+        ),
+        "heads": h["heads"],
+        "reelections": h["reelections"],
+        "suppressed_interests": h["suppressed_interests"],
+    }
+
+
+def hierarchy_campaign(quick: bool = False, root_seed: int = 3) -> Campaign:
+    return Campaign(
+        name="hierarchy",
+        trial="repro.campaign.builtin:hierarchy_trial",
+        grid={"mode": ["flat", "clustered", "rendezvous"]},
+        fixed={
+            "columns": 10 if quick else 16,
+            "rows": 10 if quick else 16,
+            "region": 5 if quick else 8,
+            "duration": 30.0 if quick else 90.0,
+        },
+        seeds=[root_seed],
+        description=(
+            "control overhead and delivery across interest propagation "
+            "modes on the regional workload"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 
 
@@ -401,6 +458,7 @@ CAMPAIGNS: Dict[str, Callable[..., Campaign]] = {
     "ablation-push-pull": pushpull_campaign,
     "fig8": fig8_campaign,
     "resilience": resilience_campaign,
+    "hierarchy": hierarchy_campaign,
 }
 
 
@@ -461,4 +519,15 @@ def report_table(name: str, report: "CampaignReport") -> str:  # noqa: F821
             table, "fault",
             title="time-to-repair in exploratory intervals (-1 = never)",
         )
+    if name == "hierarchy":
+        ctrl = aggregate(outcomes, "control_messages", by=("mode",))
+        delivery = aggregate(outcomes, "delivery_ratio", by=("mode",))
+        lines = [
+            format_table(
+                ctrl, "control msgs",
+                title="interest + cluster-control transmissions by mode",
+            ),
+            format_table(delivery, "delivery"),
+        ]
+        return "\n".join(lines)
     return f"({len([o for o in outcomes if o.ok])} successful trials)"

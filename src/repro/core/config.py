@@ -9,6 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: interest/exploratory dissemination strategies (see repro.hierarchy)
+PROPAGATION_MODES = ("flat", "clustered", "rendezvous")
+
 
 @dataclass
 class DiffusionConfig:
@@ -63,6 +66,14 @@ class DiffusionConfig:
         cache_capacity: entries in the duplicate-suppression cache
             (micro-diffusion shrinks this to 10).
         cache_timeout: seconds before a cache entry is forgotten.
+        propagation_mode: how interests and exploratory data spread.
+            ``flat`` is the paper's network-wide flood and leaves the
+            core bit-identical to the classic stack; ``clustered`` and
+            ``rendezvous`` are the hierarchical modes implemented by
+            :func:`repro.hierarchy.install_hierarchy`, which reads this
+            field when no explicit mode is passed.  The field itself
+            changes nothing until a hierarchy policy is installed — all
+            nodes of a network must agree on the mode.
     """
 
     interest_interval: float = 60.0
@@ -80,8 +91,14 @@ class DiffusionConfig:
     enable_duplicate_suppression: bool = True
     cache_capacity: int = 512
     cache_timeout: float = 60.0
+    propagation_mode: str = "flat"
 
     def validate(self) -> None:
+        if self.propagation_mode not in PROPAGATION_MODES:
+            raise ValueError(
+                f"propagation_mode must be one of {PROPAGATION_MODES}, "
+                f"got {self.propagation_mode!r}"
+            )
         if self.interest_interval <= 0:
             raise ValueError("interest_interval must be positive")
         if self.exploratory_every is not None and self.exploratory_every < 1:

@@ -280,6 +280,20 @@ class GradientTable:
             memo.move_to_end(digest)
         return [entry for entry in cached if entry.has_demand(now)]
 
+    def entries_with_demand(self, now: float) -> List[InterestEntry]:
+        """Entries some sink still wants (local, or an active gradient).
+
+        Used by the hierarchy layer: a freshly elected cluster head
+        re-floods the interests it knows are still demanded, so the
+        backbone repairs immediately instead of waiting for the next
+        sink-side interest refresh.
+        """
+        return [
+            entry
+            for entry in self._entries.values()
+            if entry.has_demand(now)
+        ]
+
     def sweep(self, now: float) -> None:
         """Expire gradients; drop entries with no state left at all."""
         dead = []

@@ -30,6 +30,7 @@ class MessageType(enum.IntEnum):
     EXPLORATORY_DATA = 3
     POSITIVE_REINFORCEMENT = 4
     NEGATIVE_REINFORCEMENT = 5
+    CONTROL = 6
 
     @property
     def class_value(self) -> ClassValue:
@@ -40,6 +41,7 @@ class MessageType(enum.IntEnum):
             MessageType.EXPLORATORY_DATA: ClassValue.EXPLORATORY,
             MessageType.POSITIVE_REINFORCEMENT: ClassValue.REINFORCEMENT,
             MessageType.NEGATIVE_REINFORCEMENT: ClassValue.NEGATIVE_REINFORCEMENT,
+            MessageType.CONTROL: ClassValue.CONTROL,
         }[self]
 
     @property
@@ -141,6 +143,24 @@ def make_interest(
 ) -> Message:
     return Message(
         msg_type=MessageType.INTEREST,
+        attrs=attrs,
+        origin=origin,
+        header_bytes=header_bytes,
+    )
+
+
+def make_control(
+    attrs: AttributeVector, origin: int, header_bytes: int = 24
+) -> Message:
+    """A control-plane message (hierarchy announcements and the like).
+
+    Control messages never match data subscriptions (their implicit
+    class is ``CONTROL``) and the gradient core ignores them; they exist
+    for protocol layers that install their own filters, and they are
+    accounted separately in the per-class traffic counters.
+    """
+    return Message(
+        msg_type=MessageType.CONTROL,
         attrs=attrs,
         origin=origin,
         header_bytes=header_bytes,

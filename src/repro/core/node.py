@@ -42,10 +42,21 @@ from repro.core.messages import (
 from repro.naming import AttributeVector, fast_two_way_match
 from repro.naming.keys import Key
 from repro.sim import Simulator, TraceBus
-from repro.sim.metrics import MetricsRegistry, current_registry
+from repro.sim.metrics import CLASS_LABEL, MetricsRegistry, current_registry
 
 _subscription_ids = itertools.count(1)
 _publication_ids = itertools.count(1)
+
+#: metric/report label per message class.  Both reinforcement
+#: polarities share one label (they are the same control function).
+MESSAGE_CLASS_LABELS: Dict[MessageType, str] = {
+    MessageType.INTEREST: "interest",
+    MessageType.DATA: "data",
+    MessageType.EXPLORATORY_DATA: "exploratory",
+    MessageType.POSITIVE_REINFORCEMENT: "reinforcement",
+    MessageType.NEGATIVE_REINFORCEMENT: "reinforcement",
+    MessageType.CONTROL: "control",
+}
 
 
 @dataclass
@@ -113,6 +124,21 @@ class DiffusionNode:
         registry = metrics if metrics is not None else current_registry()
         self._m_tx_messages = registry.counter("diffusion.tx.messages")
         self._m_tx_bytes = registry.counter("diffusion.tx.bytes")
+        # Per-message-class accounting (interest / data / exploratory /
+        # reinforcement / control), resolved once per class so the hot
+        # path stays two increments.  Labeled instruments are memoized
+        # by (name, labels), so every node shares one counter per class.
+        self._m_tx_class = {
+            t: (
+                registry.counter(
+                    "diffusion.tx.messages", **{CLASS_LABEL: label}
+                ),
+                registry.counter(
+                    "diffusion.tx.bytes", **{CLASS_LABEL: label}
+                ),
+            )
+            for t, label in MESSAGE_CLASS_LABELS.items()
+        }
         self._m_rx_messages = registry.counter("diffusion.rx.messages")
         self._m_delivered = registry.counter("diffusion.delivered")
         self._m_drop_dup = registry.counter(
@@ -134,6 +160,11 @@ class DiffusionNode:
         self.publications: Dict[int, Publication] = {}
         self._filters: List[Filter] = []
         self._sweep_event = None
+        # Optional hierarchy hook (repro.hierarchy): a ForwardPolicy
+        # duck-typed object consulted at each rebroadcast decision.
+        # None — the default — takes exactly the legacy code paths, so
+        # flat mode stays bit-identical to the classic stack.
+        self.forward_policy = None
 
         if transport is not None:
             transport.deliver_callback = self._on_network_message
@@ -324,6 +355,11 @@ class DiffusionNode:
             self._process_interest(message)
         elif message.msg_type.is_data:
             self._process_data(message)
+        elif message.msg_type is MessageType.CONTROL:
+            # Control-plane traffic (hierarchy announcements) is consumed
+            # by the filters that speak it; the gradient core never
+            # routes or re-floods it.
+            return
         else:
             self._process_reinforcement(message)
 
@@ -360,6 +396,10 @@ class DiffusionNode:
             self.stats.duplicates_suppressed += 1
             self._m_drop_dup.inc()
             self._note_drop(message, "cache-suppression")
+            if self.forward_policy is not None:
+                # Hierarchy modes count duplicate copies as evidence of
+                # neighborhood coverage (counter-based suppression).
+                self.forward_policy.note_interest_duplicate(self, message)
             return
         entry = self.gradients.entry_for(message.attrs)
         if message.last_hop is not None:
@@ -373,8 +413,13 @@ class DiffusionNode:
         else:
             entry.last_refresh = now
         self._deliver_to_subscriptions(message)
-        # Flood: every node redistributes the interest to its neighbors.
-        self._transmit(message.forwarded_copy(BROADCAST))
+        # Flood: every node redistributes the interest to its neighbors
+        # — unless an installed hierarchy policy elects to suppress or
+        # defer this copy (flat mode has no policy and always floods).
+        if self.forward_policy is None or self.forward_policy.forward_interest(
+            self, message
+        ):
+            self._transmit(message.forwarded_copy(BROADCAST))
 
     # -- data ----------------------------------------------------------------
 
@@ -393,12 +438,28 @@ class DiffusionNode:
                 # candidate list (what multipath reinforcement selects
                 # from) and refreshes sink-side reinforcement.
                 self._note_duplicate_exploratory(message, now)
+                if self.forward_policy is not None:
+                    self.forward_policy.note_exploratory_duplicate(
+                        self, message
+                    )
             return
         if message.push_attrs is not None:
             self._process_push_data(message, now)
             return
         matches = self.gradients.matching_data(message.attrs, now)
         if not matches:
+            if (
+                self.forward_policy is not None
+                and message.msg_type is MessageType.EXPLORATORY_DATA
+                and self.forward_policy.forward_unmatched_exploratory(
+                    self, message
+                )
+            ):
+                # Hierarchy modes can route exploratory data toward
+                # demand this node never heard an interest for (the
+                # rendezvous region); flat mode drops it here.
+                self._transmit(message.forwarded_copy(BROADCAST))
+                return
             self.stats.messages_dropped_no_route += 1
             self._m_drop_noroute.inc()
             self._note_drop(message, "no-route")
@@ -498,7 +559,11 @@ class DiffusionNode:
         remote_demand = any(
             entry.active_gradient_neighbors(now) for entry in matches
         )
-        if remote_demand:
+        policy = self.forward_policy
+        if policy is None:
+            if remote_demand:
+                self._transmit(message.forwarded_copy(BROADCAST))
+        elif policy.forward_exploratory(self, message, remote_demand):
             self._transmit(message.forwarded_copy(BROADCAST))
 
     def _sink_reinforce(
@@ -610,6 +675,17 @@ class DiffusionNode:
             entry.reinforce(
                 message.data_origin, downstream, now, self.config.reinforced_timeout
             )
+            if (
+                self.forward_policy is not None
+                and self.forward_policy.reinforcement_implies_demand
+            ):
+                # Rendezvous sources never hear interests, so the
+                # arriving reinforcement is itself the demand signal: it
+                # refreshes a plain gradient toward the reinforcing
+                # neighbor, letting send() route plain data normally.
+                entry.update_gradient(
+                    downstream, now, self.config.gradient_timeout
+                )
             upstream = entry.upstream_neighbor(message.data_origin)
             if upstream is not None:
                 self._send_reinforcement(
@@ -664,6 +740,9 @@ class DiffusionNode:
         self.stats.count_tx(message)
         self._m_tx_messages.inc()
         self._m_tx_bytes.inc(message.nbytes)
+        cls_messages, cls_bytes = self._m_tx_class[message.msg_type]
+        cls_messages.inc()
+        cls_bytes.inc(message.nbytes)
         self.trace.emit(
             self.sim.now,
             "diffusion.tx",
@@ -715,6 +794,8 @@ class DiffusionNode:
         for sub in self.subscriptions.values():
             if sub.periodic_event is not None:
                 sub.periodic_event.cancel()
+        if self.forward_policy is not None:
+            self.forward_policy.shutdown()
 
     def reboot(self) -> None:
         """Come back from a power cycle with soft state lost.
@@ -744,3 +825,7 @@ class DiffusionNode:
         if not self.config.push_mode:
             for sub in self.subscriptions.values():
                 self._originate_interest(sub)
+        if self.forward_policy is not None:
+            # Cluster/rendezvous state is soft too: the policy restarts
+            # with empty neighbor tables and re-arms its timers.
+            self.forward_policy.restart()

@@ -39,6 +39,10 @@ class Key(enum.IntEnum):
     # Nested-query plumbing (Section 5.2).
     TRIGGER_TYPE = 40
     TRIGGER_STATE = 41
+    # Hierarchy control plane (repro.hierarchy).
+    CONTROL_KIND = 50      # which control protocol a CONTROL message serves
+    CLUSTER_SCORE = 51     # announcer's election score
+    CLUSTER_HEAD = 52      # announcer's current head claim
 
     FIRST_USER_KEY = 1000
 

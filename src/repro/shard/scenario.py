@@ -274,6 +274,7 @@ class DiffusionScenario(Scenario):
         return ShardNet(
             net.sim, net.channel, net.propagation, topology,
             {nid: net.stack(nid).mac for nid in owned}, outcome,
+            extra={"network": net},
         )
 
 
@@ -308,6 +309,57 @@ class RegionalDiffusionScenario(DiffusionScenario):
         return pairs
 
 
+class HierarchyScenario(RegionalDiffusionScenario):
+    """The regional workload under a selectable propagation mode.
+
+    ``params["mode"]`` picks flat / clustered / rendezvous;
+    ``params["hierarchy"]`` carries :class:`~repro.hierarchy.
+    HierarchyParams` overrides.  Flat mode installs nothing, so its
+    outcome is bit-identical to :class:`RegionalDiffusionScenario` on
+    the same params — the equivalence gate the hierarchy CI relies on.
+    The outcome adds per-message-class traffic and hierarchy counters,
+    all merge-friendly (ints sum, nested dicts recurse).
+    """
+
+    name = "hierarchy"
+
+    def build(self, topology, owned, params, seed) -> ShardNet:
+        from repro.core.node import MESSAGE_CLASS_LABELS
+        from repro.hierarchy import install_hierarchy
+
+        shardnet = super().build(topology, owned, params, seed)
+        net = shardnet.extra["network"]
+        mode = str(params.get("mode", "flat"))
+        runtime = install_hierarchy(
+            net, mode=mode, params=params.get("hierarchy")
+        )
+        shardnet.extra["hierarchy"] = runtime
+        base_outcome = shardnet.outcome
+
+        def outcome() -> Dict[str, Any]:
+            result = base_outcome()
+            by_class_msgs: Dict[str, int] = {}
+            by_class_bytes: Dict[str, int] = {}
+            for nid in net.node_ids():
+                stats = net.node(nid).stats
+                for msg_type, label in MESSAGE_CLASS_LABELS.items():
+                    by_class_msgs[label] = (
+                        by_class_msgs.get(label, 0)
+                        + stats.messages_by_type[msg_type]
+                    )
+                    by_class_bytes[label] = (
+                        by_class_bytes.get(label, 0)
+                        + stats.bytes_by_type[msg_type]
+                    )
+            result["messages_by_class"] = by_class_msgs
+            result["bytes_by_class"] = by_class_bytes
+            result["hierarchy"] = runtime.counters()
+            return result
+
+        shardnet.outcome = outcome
+        return shardnet
+
+
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -315,6 +367,7 @@ SCENARIOS: Dict[str, Scenario] = {
         MobilityFloodScenario(),
         DiffusionScenario(),
         RegionalDiffusionScenario(),
+        HierarchyScenario(),
     )
 }
 

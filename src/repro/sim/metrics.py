@@ -37,6 +37,24 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 
+#: canonical label key for per-message-class instrument families
+#: (``diffusion.tx.messages{class=interest}`` and friends).  The
+#: diffusion core and the trace tooling share this constant so per-class
+#: traffic accounting groups consistently across snapshots and reports.
+CLASS_LABEL = "class"
+
+#: the message-class label values the diffusion core emits.  Both
+#: reinforcement polarities share one class (they are the same control
+#: function); ``control`` covers election/hierarchy announcements.
+MESSAGE_CLASSES = (
+    "interest",
+    "data",
+    "exploratory",
+    "reinforcement",
+    "control",
+)
+
+
 def _flat_name(name: str, labels: Dict[str, Any]) -> str:
     """``name{k=v,...}`` with labels sorted, or bare ``name``."""
     if not labels:

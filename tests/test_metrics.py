@@ -364,6 +364,42 @@ class TestStackIntegration:
         assert snap["counters"]["mac.enqueued"] > 0
         assert snap["histograms"]["mac.queue_depth"]["count"] > 0
 
+    def test_per_class_tx_counters_split_the_totals(self):
+        from repro.naming import AttributeVector
+        from repro.naming.keys import Key
+        from repro.radio import Topology
+        from repro.testbed import SensorNetwork
+
+        with use_registry() as registry:
+            net = SensorNetwork(Topology.line(3, spacing=15.0), seed=2)
+            sub = AttributeVector.builder().eq(Key.TYPE, "m").build()
+            net.api(0).subscribe(sub, lambda a, m: None)
+            pub = net.api(2).publish(
+                AttributeVector.builder().actual(Key.TYPE, "m").build()
+            )
+            for i in range(4):
+                net.sim.schedule(
+                    2.0 + 2.0 * i, net.api(2).send, pub,
+                    AttributeVector.builder().actual(Key.SEQUENCE, i).build(),
+                )
+            net.run(until=20.0)
+        counters = registry.snapshot()["counters"]
+        per_class_msgs = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("diffusion.tx.messages{")
+        }
+        assert counters["diffusion.tx.messages{class=interest}"] > 0
+        assert counters["diffusion.tx.messages{class=data}"] > 0
+        # The labeled counters are an exact partition of the totals.
+        assert sum(per_class_msgs.values()) == counters["diffusion.tx.messages"]
+        per_class_bytes = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("diffusion.tx.bytes{")
+        )
+        assert per_class_bytes == counters["diffusion.tx.bytes"]
+
     def test_without_registry_network_records_nothing(self):
         from repro.radio import Topology
         from repro.testbed import SensorNetwork
