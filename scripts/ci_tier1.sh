@@ -45,6 +45,14 @@ python -m repro.experiments.scalebench --smoke
 # (counters and outcome equality, never wall time).
 python -m repro.experiments.hierarchybench --smoke
 
+# DTN smoke: with custody off the stack must be bit-identical to a
+# build where the custody plumbing never existed; under a 60% partition
+# duty custody must engage with every loss attributed; the data mule
+# must deliver >= 2x the baseline with blocks crossing *while*
+# partitioned; and a same-seed replay must reproduce the armed run bit
+# for bit (outcome equality and counters, never wall time).
+python -m repro.experiments.dtnbench --smoke
+
 # Fault-injection smoke: a seeded FaultPlan must replay bit-identically
 # (same timeline, same repair metrics), invariants must hold, and
 # repair must land within a bounded number of exploratory intervals

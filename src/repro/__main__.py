@@ -8,6 +8,8 @@ Usage::
     python -m repro trace paths run.jsonl
     python -m repro faults run --fault partition
     python -m repro faults --smoke
+    python -m repro dtn run --duty 0.6
+    python -m repro dtn --smoke
     python -m repro example quickstart
     python -m repro info
 """
@@ -81,6 +83,14 @@ def main(argv=None) -> int:
     flt.add_argument("--smoke", action="store_true")
     flt.add_argument("args", nargs=argparse.REMAINDER)
 
+    dtn = sub.add_parser(
+        "dtn",
+        help="run/report disruption-tolerant transfers; --smoke for CI",
+        add_help=False,
+    )
+    dtn.add_argument("--smoke", action="store_true")
+    dtn.add_argument("args", nargs=argparse.REMAINDER)
+
     ex = sub.add_parser("example", help="run a narrated example")
     ex.add_argument("name", choices=sorted(EXAMPLES))
 
@@ -110,6 +120,10 @@ def main(argv=None) -> int:
         from repro.faults.cli import main as faults_main
 
         return faults_main((["--smoke"] if args.smoke else []) + args.args)
+    if args.command == "dtn":
+        from repro.dtn.cli import main as dtn_main
+
+        return dtn_main((["--smoke"] if args.smoke else []) + args.args)
     if args.command == "example":
         script = _examples_dir() / EXAMPLES[args.name]
         if not script.exists():

@@ -12,6 +12,7 @@ from repro.analysis.tracelog import (
     summarize_campaign,
     summarize_trace,
 )
+from repro.analysis.dtn import format_dtn_report
 from repro.analysis.resilience import format_resilience_report
 from repro.analysis.paths import (
     DropRecord,
@@ -42,6 +43,7 @@ __all__ = [
     "DropRecord",
     "HopRecord",
     "MessagePath",
+    "format_dtn_report",
     "format_loss_table",
     "format_path",
     "format_resilience_report",

@@ -30,6 +30,18 @@ reboot-coherence
     Immediately after a reboot-with-state-loss the node's gradient
     table and duplicate cache must be empty — inherited soft state
     would fake repair and mask real convergence time.
+
+custody-conservation
+    Custody is a promise: a block accepted into a
+    :class:`~repro.dtn.custody.CustodyStore` must leave it only through
+    an explicit ``custody.transfer`` or ``custody.expire`` event, and
+    those events must refer to a block that was actually accepted.  The
+    trace-driven side mirrors the ``custody.*`` bus events into a
+    held-set; the state-driven side (for agents registered via
+    :meth:`MonitorSuite.watch_custody`) cross-validates each store
+    against that mirror on every probe — an entry in the store with no
+    accept event is a ghost, a mirrored promise missing from the store
+    was dropped silently.
 """
 
 from __future__ import annotations
@@ -114,9 +126,15 @@ class MonitorSuite:
         self._m_violations = current_registry().counter("faults.violations")
         # (node, trace) -> hop count at first transmission
         self._tx_hops: Dict[Tuple[int, str], int] = {}
+        # (node, object, index) -> trace id, mirrored from custody.* events
+        self._custody_held: Dict[Tuple[int, str, int], Optional[str]] = {}
+        self._custody_agents: List = []
         self._attached = True
         network.trace.subscribe("diffusion.tx", self._on_tx)
         network.trace.subscribe("node.reboot", self._on_reboot)
+        network.trace.subscribe("custody.accept", self._on_custody)
+        network.trace.subscribe("custody.transfer", self._on_custody)
+        network.trace.subscribe("custody.expire", self._on_custody)
         self._probe_event = network.sim.schedule(
             probe_interval, self._probe, probe_interval, name="faults.probe"
         )
@@ -182,6 +200,36 @@ class MonitorSuite:
                 hops=hops, max_hops=self.max_hops,
             )
 
+    def _on_custody(self, record: TraceRecord) -> None:
+        data = record.data
+        obj, index = data.get("object"), data.get("index")
+        if record.node is None or obj is None or index is None:
+            return
+        key = (record.node, obj, index)
+        if record.category == "custody.accept":
+            if key in self._custody_held:
+                # Accepting a block already under custody here would
+                # double-count the promise.
+                self._record(
+                    "custody-conservation", record.node, data.get("trace"),
+                    event="double-accept", object=obj, index=index,
+                )
+            self._custody_held[key] = data.get("trace")
+        elif key in self._custody_held:
+            del self._custody_held[key]
+        else:
+            # transfer/expire of a block never accepted: custody
+            # appeared from nowhere.
+            self._record(
+                "custody-conservation", record.node, data.get("trace"),
+                event=record.category, object=obj, index=index,
+                detail_kind="release-without-accept",
+            )
+
+    def watch_custody(self, agent) -> None:
+        """Cross-validate this agent's store on every state probe."""
+        self._custody_agents.append(agent)
+
     def _on_reboot(self, record: TraceRecord) -> None:
         node = self.network.node(record.node)
         if len(node.gradients) != 0:
@@ -230,6 +278,31 @@ class MonitorSuite:
                             preferred=list(preferred),
                             multipath_degree=degree,
                         )
+        for agent in self._custody_agents:
+            node_id = agent.node.node_id
+            in_store = {
+                (node_id, entry.object_id, entry.index): entry.trace
+                for entry in agent.store.entries()
+            }
+            mirrored = {
+                key: trace
+                for key, trace in self._custody_held.items()
+                if key[0] == node_id
+            }
+            for key, trace in in_store.items():
+                if key not in mirrored:
+                    self._record(
+                        "custody-conservation", node_id, trace,
+                        object=key[1], index=key[2],
+                        detail_kind="ghost-entry",
+                    )
+            for key, trace in mirrored.items():
+                if key not in in_store:
+                    self._record(
+                        "custody-conservation", node_id, trace,
+                        object=key[1], index=key[2],
+                        detail_kind="silent-drop",
+                    )
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -250,5 +323,8 @@ class MonitorSuite:
         self._attached = False
         self.network.trace.unsubscribe("diffusion.tx", self._on_tx)
         self.network.trace.unsubscribe("node.reboot", self._on_reboot)
+        self.network.trace.unsubscribe("custody.accept", self._on_custody)
+        self.network.trace.unsubscribe("custody.transfer", self._on_custody)
+        self.network.trace.unsubscribe("custody.expire", self._on_custody)
         if self._probe_event is not None:
             self._probe_event.cancel()

@@ -43,6 +43,8 @@ class Key(enum.IntEnum):
     CONTROL_KIND = 50      # which control protocol a CONTROL message serves
     CLUSTER_SCORE = 51     # announcer's election score
     CLUSTER_HEAD = 52      # announcer's current head claim
+    # Disruption-tolerant custody plane (repro.dtn).
+    CUSTODIAN = 53         # node currently holding custody of a block
 
     FIRST_USER_KEY = 1000
 

@@ -13,16 +13,26 @@ repairs ride the same gradients as everything else.
 """
 
 from repro.transfer.blocks import BLOCK_PAYLOAD_BYTES, DataObject, split_object
-from repro.transfer.sender import BlockSender
+from repro.transfer.sender import (
+    ACK_TYPE,
+    REPAIR_TYPE,
+    TRANSFER_TYPE,
+    BlockSender,
+    RetransmitPolicy,
+)
 from repro.transfer.receiver import BlockReceiver, TransferStats
 from repro.transfer.caching import BlockCacheFilter
 
 __all__ = [
+    "ACK_TYPE",
+    "REPAIR_TYPE",
+    "TRANSFER_TYPE",
     "DataObject",
     "split_object",
     "BLOCK_PAYLOAD_BYTES",
     "BlockSender",
     "BlockReceiver",
+    "RetransmitPolicy",
     "TransferStats",
     "BlockCacheFilter",
 ]

@@ -19,8 +19,10 @@ from repro.naming.keys import Key
 from repro.sim.metrics import current_registry
 from repro.transfer.blocks import join_blocks
 from repro.transfer.sender import (
+    ACK_TYPE,
     REPAIR_TYPE,
     TRANSFER_TYPE,
+    RetransmitPolicy,
     encode_block_list,
 )
 
@@ -55,6 +57,9 @@ class BlockReceiver:
         backoff_factor: float = 1.5,
         max_quiet_timeout: float = 30.0,
         transfer_type: str = TRANSFER_TYPE,
+        reliability: Optional[RetransmitPolicy] = None,
+        rng=None,
+        persistent: bool = False,
     ) -> None:
         self.api = api
         self.object_id = object_id
@@ -67,15 +72,32 @@ class BlockReceiver:
         # horizon is what lets a lossy network converge.
         self.backoff_factor = backoff_factor
         self.max_quiet_timeout = max_quiet_timeout
+        # DTN mode: acknowledge received blocks (releases sender timers
+        # and network custody), jitter the NACK schedule from the
+        # per-node rng stream, and — with ``persistent`` — keep probing
+        # at the capped cadence instead of failing permanently, so the
+        # transfer outlives connectivity gaps.
+        self.reliability = reliability
+        self.rng = rng
+        self.persistent = persistent
+        if (reliability is not None or persistent) and rng is None:
+            raise ValueError(
+                "reliability/persistent require a per-node rng "
+                "(make_rng stream)"
+            )
         self.stats = TransferStats(object_id=object_id)
+        self.acks_sent = 0
         registry = current_registry()
         self._m_blocks_received = registry.counter("transfer.blocks_received")
         self._m_duplicates = registry.counter("transfer.duplicate_blocks")
         self._m_repair_rounds = registry.counter("transfer.repair_rounds")
         self._m_completed = registry.counter("transfer.completed")
+        self._m_acks_sent = registry.counter("transfer.acks_sent")
         self._blocks: Dict[int, bytes] = {}
         self._quiet_timer = None
         self._failed = False
+        self._ack_pub = None
+        self._fresh_since_ack: List[int] = []
         block_sub = (
             AttributeVector.builder()
             .eq(Key.TYPE, transfer_type)
@@ -89,6 +111,13 @@ class BlockReceiver:
             .actual(Key.INSTANCE, object_id)
             .build()
         )
+        if reliability is not None:
+            self._ack_pub = api.publish(
+                AttributeVector.builder()
+                .actual(Key.TYPE, ACK_TYPE)
+                .actual(Key.INSTANCE, object_id)
+                .build()
+            )
         self._arm_quiet_timer()
 
     # -- block arrival ------------------------------------------------------
@@ -111,6 +140,10 @@ class BlockReceiver:
             self._blocks[index] = payload
             self.stats.blocks_received += 1
             self._m_blocks_received.inc()
+            if self.reliability is not None:
+                self._fresh_since_ack.append(index)
+                if len(self._fresh_since_ack) >= self.reliability.ack_every:
+                    self._send_ack()
         self._arm_quiet_timer()
         if len(self._blocks) == self.stats.blocks_expected:
             self._finish()
@@ -125,10 +158,19 @@ class BlockReceiver:
         ]
 
     def _current_quiet_timeout(self) -> float:
-        return min(
+        timeout = min(
             self.max_quiet_timeout,
             self.quiet_timeout * self.backoff_factor ** self.stats.repair_rounds,
         )
+        if self.rng is not None:
+            # Seed-deterministic jitter desynchronizes co-located
+            # receivers' NACK rounds (DTN mode only; the legacy path
+            # draws nothing and stays bit-identical).
+            jitter = (
+                self.reliability.jitter if self.reliability is not None else 0.25
+            )
+            timeout += self.rng.uniform(0.0, jitter * timeout)
+        return timeout
 
     def _arm_quiet_timer(self) -> None:
         if self._quiet_timer is not None:
@@ -145,8 +187,12 @@ class BlockReceiver:
             self._finish()
             return
         if self.stats.repair_rounds >= self.max_repair_rounds:
-            self._failed = True
-            return
+            if not self.persistent:
+                self._failed = True
+                return
+            # Persistent (DTN) mode: the transfer outlives connectivity
+            # gaps — keep probing at the capped cadence so a healed
+            # partition or an arriving data mule finds live demand.
         self.stats.repair_rounds += 1
         self._m_repair_rounds.inc()
         # An empty block list is a status probe: "I have heard nothing,
@@ -169,10 +215,43 @@ class BlockReceiver:
         self._m_completed.inc()
         if self._quiet_timer is not None:
             self._quiet_timer.cancel()
+        if self.reliability is not None:
+            self._send_ack()  # completion ack: sender stands down
         data = join_blocks(
             [self._blocks[i] for i in range(self.stats.blocks_expected)]
         )
         self.on_complete(data, self.stats)
+
+    # -- acknowledgement (DTN mode) -----------------------------------------
+
+    def _send_ack(self) -> None:
+        """Flood a ``bulk-ack`` naming recently received blocks.
+
+        The ack releases the sender's per-block retransmission timers
+        and — because it floods network-wide — any custody agent still
+        carrying an acknowledged block (``custody.transfer``).  The
+        DURATION attribute carries the total received count so a
+        completion ack stands the sender down entirely.
+        """
+        window = self._fresh_since_ack[-self.reliability.ack_window:]
+        if not window and not self.stats.complete:
+            window = sorted(self._blocks)[-self.reliability.ack_window:]
+        self._fresh_since_ack = []
+        attrs = (
+            AttributeVector.builder()
+            .actual(Key.SEQUENCE, self.acks_sent)
+            .actual(Key.DURATION, len(self._blocks))
+            .build()
+            .with_attribute(
+                Attribute.blob(
+                    Key.PAYLOAD, Operator.IS, encode_block_list(window)
+                )
+            )
+        )
+        self.acks_sent += 1
+        self._m_acks_sent.inc()
+        # Acks are rare control traffic, flooded like repair requests.
+        self.api.send(self._ack_pub, attrs, force_exploratory=True)
 
     @property
     def failed(self) -> bool:

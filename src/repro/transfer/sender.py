@@ -5,12 +5,21 @@ IS <object id>)``, paces them out, and subscribes to repair requests for
 its objects.  A repair request names missing block indices; the sender
 re-sends exactly those blocks.  Both block and repair traffic are plain
 named data — no new mechanism below the application.
+
+Disruption tolerance is opt-in: handing the constructor a
+:class:`RetransmitPolicy` (plus a per-node ``make_rng`` stream) arms
+per-block retransmission timers on the sim kernel — a block stays on a
+jittered exponential-backoff schedule until the receiver's ``bulk-ack``
+covers it or the bounded retry budget runs out.  Without a policy the
+sender behaves exactly as before (the DTN equivalence gate depends on
+that).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.api import DiffusionRouting, PublicationHandle
 from repro.naming import Attribute, AttributeVector, Operator
@@ -20,6 +29,31 @@ from repro.transfer.blocks import DataObject
 
 TRANSFER_TYPE = "bulk-transfer"
 REPAIR_TYPE = "bulk-repair"
+ACK_TYPE = "bulk-ack"
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Hop-by-hop NACK/ACK retransmission knobs (DTN mode).
+
+    Retry ``n`` of a block waits ``min(max_timeout, ack_timeout *
+    backoff_factor**n)`` seconds plus a uniform seed-deterministic
+    jitter draw in ``[0, jitter * delay)``.
+    """
+
+    ack_timeout: float = 10.0
+    backoff_factor: float = 2.0
+    max_timeout: float = 40.0
+    jitter: float = 0.4
+    max_retransmits: int = 4
+    #: retries below this count re-send on the reinforced path; only
+    #: later ones flood (silence may mean the path itself is gone, but
+    #: flooding every retry congests the channel it is trying to heal).
+    flood_after: int = 3
+    #: receiver side — acknowledge after every this many fresh blocks.
+    ack_every: int = 8
+    #: receiver side — how many recent indices one ack enumerates.
+    ack_window: int = 16
 
 
 def encode_block_list(indices) -> bytes:
@@ -45,6 +79,8 @@ class BlockSender:
         block_interval: float = 0.5,
         rampup_delay: float = 1.5,
         transfer_type: str = TRANSFER_TYPE,
+        reliability: Optional[RetransmitPolicy] = None,
+        rng=None,
     ) -> None:
         self.api = api
         self.block_interval = block_interval
@@ -53,13 +89,26 @@ class BlockSender:
         # blocks sent before the path is reinforced are dropped.
         self.rampup_delay = rampup_delay
         self.transfer_type = transfer_type
+        self.reliability = reliability
+        self.rng = rng
         self.objects: Dict[str, DataObject] = {}
         self.blocks_sent = 0
         self.repairs_served = 0
+        self.retransmits = 0
+        self.acks_received = 0
+        #: (object id, index) -> trace ids of every transmitted copy;
+        #: the dtn scenario joins these against ``path.drop`` records
+        #: to attribute every lost block to a cause.
+        self.block_traces: Dict[Tuple[str, int], List[str]] = {}
         registry = current_registry()
         self._m_blocks_sent = registry.counter("transfer.blocks_sent")
         self._m_repairs_served = registry.counter("transfer.repairs_served")
+        self._m_retransmits = registry.counter("transfer.retransmits")
+        self._m_acks_received = registry.counter("transfer.acks_received")
         self._publications: Dict[str, PublicationHandle] = {}
+        self._acked: Dict[str, Set[int]] = {}
+        self._retry: Dict[Tuple[str, int], object] = {}
+        self._tries: Dict[Tuple[str, int], int] = {}
         # Listen for repair requests for any object we serve.
         repair_sub = (
             AttributeVector.builder()
@@ -67,6 +116,17 @@ class BlockSender:
             .build()
         )
         self.api.subscribe(repair_sub, self._on_repair_request)
+        if self.reliability is not None:
+            if self.rng is None:
+                raise ValueError(
+                    "reliability requires a per-node rng (make_rng stream)"
+                )
+            ack_sub = (
+                AttributeVector.builder()
+                .eq(Key.TYPE, ACK_TYPE)
+                .build()
+            )
+            self.api.subscribe(ack_sub, self._on_ack)
 
     def offer(self, obj: DataObject, start: float = 0.0) -> None:
         """Register an object and start streaming its blocks."""
@@ -113,13 +173,19 @@ class BlockSender:
                 Attribute.blob(Key.PAYLOAD, Operator.IS, obj.block_payload(index))
             )
         )
-        self.api.send(
+        message = self.api.send(
             self._publications[obj.object_id],
             attrs,
             force_exploratory=force_exploratory,
         )
         self.blocks_sent += 1
         self._m_blocks_sent.inc()
+        if message is not None:
+            self.block_traces.setdefault(
+                (obj.object_id, index), []
+            ).append(message.trace_id)
+        if self.reliability is not None:
+            self._arm_retransmit(obj.object_id, index)
 
     # -- repair ------------------------------------------------------------
 
@@ -149,3 +215,69 @@ class BlockSender:
                     True,
                     name="transfer.repair",
                 )
+
+    # -- acknowledged retransmission (DTN mode) -----------------------------
+
+    def acked_blocks(self, object_id: str) -> Set[int]:
+        return set(self._acked.get(object_id, ()))
+
+    def _arm_retransmit(self, object_id: str, index: int) -> None:
+        key = (object_id, index)
+        if index in self._acked.get(object_id, ()):
+            return
+        timer = self._retry.get(key)
+        if timer is not None:
+            timer.cancel()
+        policy = self.reliability
+        tries = self._tries.get(key, 0)
+        delay = min(
+            policy.max_timeout,
+            policy.ack_timeout * policy.backoff_factor ** tries,
+        )
+        delay += self.rng.uniform(0.0, policy.jitter * delay)
+        self._retry[key] = self.api.node.sim.schedule(
+            delay, self._retransmit_tick, object_id, index,
+            name="transfer.retransmit",
+        )
+
+    def _retransmit_tick(self, object_id: str, index: int) -> None:
+        key = (object_id, index)
+        self._retry.pop(key, None)
+        if index in self._acked.get(object_id, ()):
+            return
+        obj = self.objects.get(object_id)
+        if obj is None:
+            return
+        tries = self._tries.get(key, 0) + 1
+        self._tries[key] = tries
+        if tries > self.reliability.max_retransmits:
+            return  # budget spent; NACK repair remains the backstop
+        self.retransmits += 1
+        self._m_retransmits.inc()
+        self._transmit_block(
+            obj, index,
+            force_exploratory=(tries >= self.reliability.flood_after),
+        )
+
+    def _on_ack(self, attrs: AttributeVector, message) -> None:
+        object_id = attrs.value_of(Key.INSTANCE)
+        payload = attrs.value_of(Key.PAYLOAD)
+        obj = self.objects.get(object_id)
+        if obj is None or not isinstance(payload, bytes):
+            return
+        try:
+            indices = decode_block_list(payload)
+        except ValueError:
+            return
+        self.acks_received += 1
+        self._m_acks_received.inc()
+        acked = self._acked.setdefault(object_id, set())
+        received = attrs.value_of(Key.DURATION)
+        if received is not None and int(received) >= obj.block_count:
+            # Completion ack: everything arrived; stand down entirely.
+            indices = range(obj.block_count)
+        for index in indices:
+            acked.add(index)
+            timer = self._retry.pop((object_id, index), None)
+            if timer is not None:
+                timer.cancel()

@@ -1,0 +1,118 @@
+"""Fault-path tests for the block-transfer retransmission machinery:
+BlockSender/BlockReceiver under fragment corruption and link flaps,
+without any custody agents — the hop-by-hop reliability layer alone."""
+
+import pytest
+
+from repro.core import DiffusionConfig
+from repro.faults import FaultEngine
+from repro.faults.plan import FaultPlan, FragmentCorruption, LinkFlap
+from repro.radio import Topology
+from repro.sim.rng import make_rng
+from repro.testbed import SensorNetwork
+from repro.transfer import (
+    BlockReceiver,
+    BlockSender,
+    DataObject,
+    RetransmitPolicy,
+)
+
+SINK = 0
+
+
+def fast_config():
+    return DiffusionConfig(
+        interest_interval=10.0,
+        interest_jitter=0.5,
+        gradient_timeout=30.0,
+        exploratory_interval=8.0,
+        reinforced_timeout=20.0,
+        reinforcement_jitter=0.3,
+    )
+
+
+def armed_transfer(nodes=4, seed=5, payload_bytes=1024, plan=None,
+                   reliability=True, duration=120.0):
+    network = SensorNetwork(
+        Topology.line(nodes, spacing=15.0), seed=seed, config=fast_config()
+    )
+    engine = FaultEngine(network, plan) if plan is not None else None
+    policy = RetransmitPolicy() if reliability else None
+    source = nodes - 1
+    obj = DataObject("fault-obj", bytes(range(256)) * (payload_bytes // 256))
+    done = []
+    receiver = BlockReceiver(
+        network.api(SINK),
+        "fault-obj",
+        on_complete=lambda payload, stats: done.append(payload),
+        quiet_timeout=4.0,
+        max_repair_rounds=8,
+        max_quiet_timeout=20.0,
+        reliability=policy,
+        rng=make_rng(seed, "dtn:receiver") if reliability else None,
+        persistent=reliability,
+    )
+    sender = BlockSender(
+        network.api(source),
+        block_interval=0.5,
+        reliability=policy,
+        rng=make_rng(seed, "dtn:sender") if reliability else None,
+    )
+    network.sim.schedule(5.0, sender.offer, obj, 0.0)
+    network.run(until=duration)
+    return obj, sender, receiver, done, engine
+
+
+class TestFragmentCorruption:
+    def test_transfer_survives_corruption_at_a_relay(self):
+        # Node 1 relays sink-bound blocks; corrupt half its inbound
+        # fragments for most of the stream.
+        plan = FaultPlan((
+            FragmentCorruption(node=1, at=6.0, duration=30.0, rate=0.5),
+        ))
+        obj, sender, receiver, done, _ = armed_transfer(plan=plan)
+        assert done, "transfer never completed under fragment corruption"
+        assert receiver.stats.complete
+        # Recovery machinery actually did work: some combination of
+        # sender retransmits and NACK repair rounds.
+        assert sender.retransmits + sender.repairs_served > 0
+
+    def test_recovered_payload_is_intact(self):
+        plan = FaultPlan((
+            FragmentCorruption(node=1, at=6.0, duration=20.0, rate=0.4),
+        ))
+        obj, sender, receiver, done, _ = armed_transfer(plan=plan)
+        assert done and done[0] == obj.data
+
+
+class TestLinkFlap:
+    def test_transfer_survives_a_mid_stream_flap(self):
+        # Cut the only path (the 1-2 link) mid-stream, twice.
+        plan = FaultPlan((
+            LinkFlap(a=1, b=2, at=8.0, down=12.0, flaps=2, period=30.0),
+        ))
+        obj, sender, receiver, done, _ = armed_transfer(plan=plan)
+        assert done, "transfer never completed across link flaps"
+        assert receiver.stats.complete
+        assert sender.retransmits > 0
+
+    def test_reliability_recovers_blocks_the_legacy_stack_loses(self):
+        plan = FaultPlan((
+            LinkFlap(a=1, b=2, at=8.0, down=12.0, flaps=2, period=30.0),
+        ))
+        _, _, legacy_rx, _, _ = armed_transfer(plan=plan, reliability=False)
+        _, _, armed_rx, armed_done, _ = armed_transfer(plan=plan)
+        assert len(armed_rx._blocks) >= len(legacy_rx._blocks)
+        assert armed_done
+
+
+class TestAckRelease:
+    def test_sender_timers_stand_down_on_completion(self):
+        obj, sender, receiver, done, _ = armed_transfer(plan=None)
+        assert done
+        # The receiver's completion ack covered every block: no
+        # retransmission timers may survive it.
+        assert not sender._retry
+        assert sender.acked_blocks(obj.object_id) == set(
+            range(obj.block_count)
+        )
